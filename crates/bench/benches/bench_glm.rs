@@ -1,0 +1,84 @@
+#![allow(clippy::needless_range_loop)]
+//! GLM fitting benchmarks: the paper-sized NB2 regression (148 weeks × 19
+//! columns), the Poisson baseline, and OLS.
+
+use booters_glm::irls::IrlsOptions;
+use booters_glm::negbin::{fit_negbin, NegBinOptions};
+use booters_glm::ols::fit_ols;
+use booters_glm::poisson::fit_poisson;
+use booters_linalg::Matrix;
+use booters_stats::dist::NegativeBinomial;
+use booters_timeseries::design::{its_design, DesignConfig};
+use booters_timeseries::{Date, InterventionWindow, WeeklySeries};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Paper-shaped problem: 148 weeks, 5 interventions + Easter + 11
+/// seasonals + trend + constant = 19 columns.
+fn paper_problem() -> (Matrix, Vec<f64>, Vec<String>) {
+    let series = WeeklySeries::covering(Date::new(2016, 6, 6), Date::new(2019, 4, 1));
+    let windows = vec![
+        InterventionWindow::immediate("xmas", Date::new(2018, 12, 19), 10),
+        InterventionWindow::delayed("webstresser", Date::new(2018, 4, 24), 2, 3),
+        InterventionWindow::immediate("mirai", Date::new(2018, 10, 26), 8),
+        InterventionWindow::immediate("hackforums", Date::new(2016, 10, 28), 13),
+        InterventionWindow::immediate("vdos", Date::new(2017, 12, 19), 3),
+    ];
+    let design = its_design(&series, &windows, &DesignConfig::default());
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut y = vec![0.0; series.len()];
+    for i in 0..series.len() {
+        let t = i as f64;
+        let mu = (10.0 + 0.01 * t).exp();
+        y[i] = NegativeBinomial::new(mu, 0.01).sample(&mut rng) as f64;
+    }
+    (design.x, y, design.names)
+}
+
+fn bench_negbin_fit(c: &mut Criterion) {
+    let (x, y, names) = paper_problem();
+    c.bench_function("negbin_fit_paper_size", |b| {
+        b.iter(|| {
+            let fit = fit_negbin(
+                black_box(&x),
+                black_box(&y),
+                &names,
+                &NegBinOptions::default(),
+            )
+            .unwrap();
+            black_box(fit.alpha)
+        })
+    });
+}
+
+fn bench_poisson_fit(c: &mut Criterion) {
+    let (x, y, names) = paper_problem();
+    c.bench_function("poisson_fit_paper_size", |b| {
+        b.iter(|| {
+            let fit = fit_poisson(
+                black_box(&x),
+                black_box(&y),
+                &names,
+                &IrlsOptions::default(),
+                0.95,
+            )
+            .unwrap();
+            black_box(fit.fit.deviance)
+        })
+    });
+}
+
+fn bench_ols_fit(c: &mut Criterion) {
+    let (x, y, names) = paper_problem();
+    c.bench_function("ols_fit_paper_size", |b| {
+        b.iter(|| {
+            let fit = fit_ols(black_box(&x), black_box(&y), &names, 0.95).unwrap();
+            black_box(fit.r_squared)
+        })
+    });
+}
+
+criterion_group!(benches, bench_negbin_fit, bench_poisson_fit, bench_ols_fit);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Netsim benchmarks: packet generation, flow grouping throughput, and
+//! the fast observation path.
+
+use booters_netsim::flow::{classify_flows, FlowGrouper};
+use booters_netsim::{AttackCommand, Engine, EngineConfig, SensorPacket, UdpProtocol, VictimAddr};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn sample_commands(n: usize) -> Vec<AttackCommand> {
+    (0..n)
+        .map(|i| AttackCommand {
+            time: (i as u64) * 1_800,
+            victim: VictimAddr::from_octets(25, (i / 250 % 250) as u8, (i % 250) as u8, 1),
+            protocol: UdpProtocol::ALL[i % UdpProtocol::ALL.len()],
+            duration_secs: 300,
+            packets_per_second: 50_000,
+            booter: (i % 40) as u32,
+            avoids_honeypots: i % 9 == 0,
+        })
+        .collect()
+}
+
+fn bench_would_observe(c: &mut Criterion) {
+    let cmds = sample_commands(10_000);
+    let mut group = c.benchmark_group("netsim");
+    group.throughput(Throughput::Elements(cmds.len() as u64));
+    group.bench_function("would_observe_10k_commands", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(EngineConfig::default());
+            let observed = cmds.iter().filter(|c| engine.would_observe(c)).count();
+            black_box(observed)
+        })
+    });
+    group.finish();
+}
+
+fn bench_packet_generation(c: &mut Criterion) {
+    let cmds = sample_commands(200);
+    c.bench_function("simulate_attack_packets_200", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(EngineConfig::default());
+            let mut total = 0usize;
+            for cmd in &cmds {
+                total += engine.simulate_attack_packets(cmd).len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_flow_grouping(c: &mut Criterion) {
+    // Pre-generate a realistic packet trace.
+    let mut engine = Engine::new(EngineConfig::default());
+    let mut packets: Vec<SensorPacket> = Vec::new();
+    for cmd in sample_commands(500) {
+        packets.extend(engine.simulate_attack_packets(&cmd));
+    }
+    packets.sort_by_key(|p| p.time);
+    let mut group = c.benchmark_group("netsim");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function("flow_grouping", |b| {
+        b.iter(|| {
+            let mut grouper = FlowGrouper::new();
+            for p in &packets {
+                grouper.push(p);
+            }
+            black_box(grouper.finish().len())
+        })
+    });
+    group.bench_function("classify_flows", |b| {
+        b.iter(|| black_box(classify_flows(&packets).len()))
+    });
+    group.finish();
+}
+
+fn bench_attribution(c: &mut Criterion) {
+    use booters_netsim::attribution::{FlowFeatures, KnnAttributor};
+    let mut engine = Engine::new(EngineConfig::default());
+    let mut attributor = KnnAttributor::new();
+    let mut probes = Vec::new();
+    for (i, cmd) in sample_commands(120).into_iter().enumerate() {
+        let packets = engine.simulate_attack_packets(&cmd);
+        if let Some(f) = FlowFeatures::from_packets(&packets) {
+            if i % 4 == 0 {
+                probes.push(f);
+            } else {
+                attributor.train(f, cmd.booter);
+            }
+        }
+    }
+    c.bench_function("knn_attribution_90train_30probe", |b| {
+        b.iter(|| {
+            let hits = probes
+                .iter()
+                .filter(|f| attributor.attribute(f, 3, 0.67).is_some())
+                .count();
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_would_observe,
+    bench_packet_generation,
+    bench_flow_grouping,
+    bench_attribution
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Statistical kernel benchmarks: special functions, CDFs, quantiles and
+//! sampling — the inner loops of every model fit.
+
+use booters_stats::dist::{standard_normal_quantile, NegativeBinomial, Normal, Poisson};
+use booters_stats::special::{beta_inc, digamma, gamma_p, ln_gamma, trigamma};
+use booters_stats::tests::{dagostino_k2, ljung_box, white_test};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_special_functions(c: &mut Criterion) {
+    let xs: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.37 + 0.1).collect();
+    let mut group = c.benchmark_group("special");
+    group.throughput(Throughput::Elements(xs.len() as u64));
+    group.bench_function("ln_gamma", |b| {
+        b.iter(|| xs.iter().map(|&x| ln_gamma(black_box(x))).sum::<f64>())
+    });
+    group.bench_function("digamma", |b| {
+        b.iter(|| xs.iter().map(|&x| digamma(black_box(x))).sum::<f64>())
+    });
+    group.bench_function("trigamma", |b| {
+        b.iter(|| xs.iter().map(|&x| trigamma(black_box(x))).sum::<f64>())
+    });
+    group.bench_function("gamma_p", |b| {
+        b.iter(|| xs.iter().map(|&x| gamma_p(black_box(x), x * 0.9)).sum::<f64>())
+    });
+    group.bench_function("beta_inc", |b| {
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| beta_inc(black_box(x), 2.5, 0.4))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributions");
+    group.bench_function("normal_quantile", |b| {
+        b.iter(|| {
+            (1..1000)
+                .map(|i| standard_normal_quantile(black_box(i as f64 / 1000.0)))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("negbin_cdf", |b| {
+        let nb = NegativeBinomial::new(50.0, 0.1);
+        b.iter(|| (0..200).map(|k| nb.cdf(black_box(k))).sum::<f64>())
+    });
+    group.bench_function("normal_cdf", |b| {
+        let n = Normal::standard();
+        b.iter(|| {
+            (-400..400)
+                .map(|i| n.cdf(black_box(i as f64 / 100.0)))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("poisson_large_lambda", |b| {
+        let p = Poisson::new(50_000.0);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..10_000).map(|_| p.sample(&mut rng)).sum::<u64>()
+        })
+    });
+    group.bench_function("negbin_sample", |b| {
+        let nb = NegativeBinomial::new(30_000.0, 0.012);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            (0..10_000).map(|_| nb.sample(&mut rng)).sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_hypothesis_tests(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let xs: Vec<f64> = (0..300).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| 100.0 + 2.0 * x + (1.0 + 0.1 * x) * booters_stats::dist::standard_normal_sample(&mut rng))
+        .collect();
+    let mut group = c.benchmark_group("tests");
+    group.bench_function("white_test_300", |b| {
+        b.iter(|| black_box(white_test(&xs, &ys).unwrap().p_value))
+    });
+    group.bench_function("dagostino_k2_300", |b| {
+        b.iter(|| black_box(dagostino_k2(&ys).unwrap().p_value))
+    });
+    group.bench_function("ljung_box_300", |b| {
+        b.iter(|| black_box(ljung_box(&ys, 10).unwrap().p_value))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_special_functions,
+    bench_distributions,
+    bench_sampling,
+    bench_hypothesis_tests
+);
+criterion_main!(benches);

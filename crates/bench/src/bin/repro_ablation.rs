@@ -1,0 +1,65 @@
+//! Ablations of the paper's modelling choices:
+//!
+//! 1. the Kopp et al. short-window design (§5) — no seasonality, Oct
+//!    2018 – Jan 2019 only — should understate the Xmas2018 drop;
+//! 2. Poisson vs negative binomial (§4's overdispersion argument);
+//! 3. the Easter component.
+//!
+//! Usage: `cargo run --release -p booters-bench --bin repro_ablation [scale]`
+
+use booters_bench::{pipeline_config, run_scenario, scale_from_args, write_artifact};
+use booters_core::ablation::{kopp_style_short_window, poisson_vs_negbin, with_without_easter};
+use booters_market::calibration::Calibration;
+
+fn main() {
+    let scale = scale_from_args();
+    let scenario = run_scenario(scale);
+    let cal = Calibration::default();
+    let cfg = pipeline_config();
+
+    let mut out = String::new();
+
+    let short = kopp_style_short_window(&scenario.honeypot, &cal, &cfg).expect("short-window fit");
+    out.push_str(&format!(
+        "1. Kopp-style short window (no seasonality, Oct 2018 - Jan 2019):\n\
+         \x20  full seasonal model Xmas2018 effect: {:+.1}%\n\
+         \x20  short-window effect:                 {:+.1}%\n\
+         \x20  short design understates the drop:   {}\n\
+         \x20  (paper §5: Kopp et al. 'found it to be smaller, possibly because\n\
+         \x20   they only model ... Oct 2018 to Jan 2019, thereby ignoring\n\
+         \x20   seasonal effects')\n\n",
+        short.full_model_pct,
+        short.short_window_pct,
+        short.short_window_understates()
+    ));
+
+    let disp = poisson_vs_negbin(&scenario.honeypot, &cal, &cfg).expect("dispersion fits");
+    out.push_str(&format!(
+        "2. Poisson vs negative binomial on the Xmas2018 coefficient:\n\
+         \x20  NB2 alpha = {:.4}\n\
+         \x20  SE(Poisson) = {:.4}   SE(NB2) = {:.4}   (ratio {:.1}x)\n\
+         \x20  AIC(Poisson) = {:.0}   AIC(NB2) = {:.0}\n\
+         \x20  (Poisson's tiny SEs are fantasy under overdispersion; NB2 pays one\n\
+         \x20   parameter and wins AIC decisively — the paper's §4 model choice)\n\n",
+        disp.alpha,
+        disp.poisson_se,
+        disp.negbin_se,
+        disp.negbin_se / disp.poisson_se,
+        disp.poisson_aic,
+        disp.negbin_aic
+    ));
+
+    let easter = with_without_easter(&scenario.honeypot, &cal, &cfg).expect("easter fits");
+    out.push_str(&format!(
+        "3. Easter component:\n\
+         \x20  log-likelihood with Easter    = {:.2}\n\
+         \x20  log-likelihood without Easter = {:.2}\n\
+         \x20  (the paper's Easter coefficient is small and non-significant\n\
+         \x20   (-0.016, p=0.86); the component exists because school holidays\n\
+         \x20   move with Easter, not because it buys much fit)\n",
+        easter.with_easter_ll, easter.without_easter_ll
+    ));
+
+    println!("{out}");
+    write_artifact("ablation.txt", &out);
+}

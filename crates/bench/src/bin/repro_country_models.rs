@@ -1,0 +1,29 @@
+//! Full per-country model parameters — the detail the paper's §4.1 omits
+//! "for reasons of space, we do not present the details of the individual
+//! per-country model parameters". The reproduction has no page limit.
+//!
+//! Usage: `cargo run --release -p booters-bench --bin repro_country_models [scale]`
+
+use booters_bench::{pipeline_config, run_scenario, scale_from_args, write_artifact};
+use booters_core::report::country_model_detail;
+use booters_market::calibration::Calibration;
+
+fn main() {
+    let scale = scale_from_args();
+    let scenario = run_scenario(scale);
+    let cal = Calibration::default();
+    let cfg = pipeline_config();
+
+    let mut out = String::new();
+    for country in Calibration::table2_countries() {
+        match country_model_detail(&scenario.honeypot, &cal, country, &cfg) {
+            Ok(text) => {
+                out.push_str(&text);
+                out.push_str("\n----------------------------------------\n\n");
+            }
+            Err(e) => out.push_str(&format!("{country}: model failed: {e}\n")),
+        }
+    }
+    println!("{out}");
+    write_artifact("country_models.txt", &out);
+}

@@ -1,0 +1,50 @@
+//! Regenerate the footnote-1 coverage analysis: what fraction of
+//! commanded attacks the honeypot fleet observes, per protocol and per
+//! booter behaviour (honest vs honeypot-avoiding).
+//!
+//! Usage: `cargo run --release -p booters-bench --bin repro_coverage [scale]`
+
+use booters_bench::{run_scenario, scale_from_args, write_artifact};
+use booters_market::commands::commands_for_week;
+use booters_market::market::{MarketConfig, MarketSim};
+use booters_netsim::coverage::CoverageReport;
+use booters_netsim::{Engine, EngineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = scale_from_args().min(0.05); // command expansion is per attack
+    // Ground-truth coverage from the scenario runner.
+    let scenario = run_scenario(scale);
+    let overall = scenario.honeypot.global.total() / scenario.ground_truth.global.total();
+    println!(
+        "scenario coverage: {:.1}% of commanded attacks observed\n",
+        100.0 * overall
+    );
+
+    // Detailed per-protocol coverage over a few simulated weeks.
+    let mut sim = MarketSim::new(MarketConfig {
+        scale,
+        seed: 7,
+        ..MarketConfig::default()
+    });
+    let mut engine = Engine::new(EngineConfig::default());
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut all_commands = Vec::new();
+    for _ in 0..26 {
+        if let Some(out) = sim.step() {
+            all_commands.extend(commands_for_week(
+                &out,
+                sim.population().booters(),
+                &mut rng,
+                2_000,
+            ));
+        }
+    }
+    let report = CoverageReport::from_commands(&mut engine, &all_commands);
+    let rendered = report.render();
+    println!("{rendered}");
+    println!("Paper reference (footnote 1): LDAP 98%, NTP 97%, PORTMAP 97% coverage;");
+    println!("honeypot-avoiding methods like vDOS 'SUDP' at 9%.");
+    write_artifact("coverage.txt", &rendered);
+}

@@ -1,0 +1,47 @@
+//! Automated intervention detection — the mechanised version of the
+//! paper's claim that drops in the attack series "correspond closely to
+//! events discussed in §2".
+//!
+//! Fits a baseline seasonal model, scans for runs below the fit, adds
+//! LR-tested dummies greedily, and matches the detected windows against
+//! the real intervention timeline.
+//!
+//! Usage: `cargo run --release -p booters-bench --bin repro_detection [scale]`
+
+use booters_bench::{pipeline_config, run_scenario, scale_from_args, write_artifact};
+use booters_core::detect::{detect_interventions, match_events, DetectOptions};
+use booters_timeseries::Date;
+
+fn main() {
+    let scale = scale_from_args();
+    let scenario = run_scenario(scale);
+    let series = scenario
+        .honeypot
+        .global
+        .window(Date::new(2016, 6, 6), Date::new(2019, 4, 1))
+        .expect("modelling window");
+    let mut found = detect_interventions(&series, &pipeline_config(), &DetectOptions::default())
+        .expect("detection converges");
+    match_events(&mut found, 3);
+
+    let mut out = String::from("detected drop windows (deepest first):\n");
+    for d in &found {
+        out.push_str(&format!(
+            "  {}  {:>2} weeks  coef {:+.3}  p={:.2e}  -> {}\n",
+            d.start,
+            d.duration_weeks,
+            d.coef,
+            d.p_value,
+            d.matched_event.as_deref().unwrap_or("(no matching event)")
+        ));
+    }
+    let matched = found.iter().filter(|d| d.matched_event.is_some()).count();
+    out.push_str(&format!(
+        "\n{matched}/{} detected windows match a real §2 event within 3 weeks\n",
+        found.len()
+    ));
+    println!("{out}");
+    println!("Paper reference: 'We found five such interventions that were statistically");
+    println!("significant and ... they correspond closely to events discussed in §2.'");
+    write_artifact("detection.txt", &out);
+}

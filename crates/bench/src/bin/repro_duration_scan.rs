@@ -1,0 +1,41 @@
+//! Data-driven intervention-window durations.
+//!
+//! The paper hand-tuned each intervention's window length to the period
+//! the series stayed depressed. This binary scans candidate durations by
+//! profile likelihood for each of the five significant interventions and
+//! compares the data-chosen duration with the paper's.
+//!
+//! Usage: `cargo run --release -p booters-bench --bin repro_duration_scan [scale]`
+
+use booters_bench::{pipeline_config, run_scenario, scale_from_args, write_artifact};
+use booters_core::pipeline::{global_intervention_windows, scan_duration};
+use booters_market::calibration::Calibration;
+use booters_timeseries::Date;
+
+fn main() {
+    let scale = scale_from_args();
+    let scenario = run_scenario(scale);
+    let cfg = pipeline_config();
+    let cal = Calibration::default();
+    let series = scenario
+        .honeypot
+        .global
+        .window(Date::new(2016, 6, 6), Date::new(2019, 4, 1))
+        .expect("modelling window");
+    let windows = global_intervention_windows(&cal);
+    let candidates: Vec<usize> = (1..=18).collect();
+
+    let mut out = String::from("profile-likelihood duration scan (paper duration in brackets):\n");
+    for (i, w) in windows.iter().enumerate() {
+        let (best, ll) =
+            scan_duration(&series, &windows, i, &candidates, &cfg).expect("scan converges");
+        out.push_str(&format!(
+            "  {:<38} scanned {:>2} weeks  [paper: {:>2}]  loglik {:.2}\n",
+            w.name, best, w.duration_weeks, ll
+        ));
+    }
+    println!("{out}");
+    println!("The scan should land within a couple of weeks of the paper's hand-tuned");
+    println!("windows for the deep interventions; shallow ones (vDOS) have flat profiles.");
+    write_artifact("duration_scan.txt", &out);
+}

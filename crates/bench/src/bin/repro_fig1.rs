@@ -1,0 +1,25 @@
+//! Regenerate Figure 1: weekly reflected-UDP attack counts July 2014 –
+//! April 2019 with the fifteen labelled intervention events.
+//!
+//! Usage: `cargo run --release -p booters-bench --bin repro_fig1 [scale]`
+
+use booters_bench::{run_scenario, scale_from_args, write_artifact};
+use booters_core::report::fig1_csv;
+
+fn main() {
+    let scale = scale_from_args();
+    let scenario = run_scenario(scale);
+    let csv = fig1_csv(&scenario.honeypot);
+    write_artifact("fig1_timeline.csv", &csv);
+    // Console sparkline summary: quarterly means.
+    let s = &scenario.honeypot.global;
+    println!("weekly attacks (quarterly means):");
+    let mut i = 0;
+    while i < s.len() {
+        let k = 13.min(s.len() - i);
+        let mean: f64 = (0..k).map(|t| s.get(i + t)).sum::<f64>() / k as f64;
+        let bar = "#".repeat((mean / s.values().iter().cloned().fold(0.0, f64::max) * 60.0) as usize);
+        println!("{}  {:>9.0}  {}", s.week_date(i), mean, bar);
+        i += 13;
+    }
+}

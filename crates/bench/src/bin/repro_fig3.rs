@@ -1,0 +1,24 @@
+//! Regenerate Figure 3: stacked weekly attacks by victim country (top 8).
+//!
+//! Usage: `cargo run --release -p booters-bench --bin repro_fig3 [scale]`
+
+use booters_bench::{run_scenario, scale_from_args, write_artifact};
+use booters_core::report::fig3_csv;
+use booters_netsim::Country;
+
+fn main() {
+    let scale = scale_from_args();
+    let scenario = run_scenario(scale);
+    let csv = fig3_csv(&scenario.honeypot);
+    write_artifact("fig3_by_country.csv", &csv);
+    println!("total attacks by country over the full window:");
+    let mut rows: Vec<(String, f64)> = Country::ALL
+        .iter()
+        .map(|&c| (c.label().to_string(), scenario.honeypot.country(c).total()))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let total: f64 = rows.iter().map(|(_, v)| v).sum();
+    for (label, v) in rows {
+        println!("  {label:<4} {v:>12.0}  ({:.1}%)", 100.0 * v / total);
+    }
+}

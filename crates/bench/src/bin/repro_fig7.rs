@@ -1,0 +1,51 @@
+//! Regenerate Figure 7: stacked self-reported weekly attacks per booter
+//! (anonymised), Nov 2017 – Apr 2019, showing the Xmas2018 market
+//! restructuring.
+//!
+//! Usage: `cargo run --release -p booters-bench --bin repro_fig7 [scale]`
+
+use booters_bench::{run_scenario, scale_from_args, write_artifact};
+use booters_core::report::fig7_csv;
+use booters_timeseries::Date;
+
+fn main() {
+    let scale = scale_from_args();
+    let scenario = run_scenario(scale);
+    let sr = &scenario.selfreport;
+    let n_weeks = ((Date::new(2019, 4, 1).week_start().days_since(sr.start)) / 7) as usize;
+    let csv = fig7_csv(sr, n_weeks);
+    write_artifact("fig7_selfreport.csv", &csv);
+
+    let total = sr.total_weekly(n_weeks);
+    println!("self-reported weekly totals (8-week means):");
+    let mut i = 1; // week 0 has no increment
+    while i < total.len() {
+        let k = 8.min(total.len() - i);
+        let mean: f64 = (0..k).map(|t| total.get(i + t)).sum::<f64>() / k as f64;
+        println!("  {}  {:>10.0}", total.week_date(i), mean);
+        i += 8;
+    }
+    let week_of = |d: Date| (d.week_start().days_since(sr.start) / 7) as usize;
+    println!(
+        "\ntop-booter share: {:.0}% (Sep-Dec 2018) -> {:.0}% (Jan-Mar 2019); paper: ~60% after",
+        100.0 * sr.top_share(week_of(Date::new(2018, 9, 3)), week_of(Date::new(2018, 12, 10))).unwrap_or(f64::NAN),
+        100.0 * sr.top_share(week_of(Date::new(2019, 1, 7)), week_of(Date::new(2019, 3, 25))).unwrap_or(f64::NAN),
+    );
+
+    // Market concentration (HHI) around the Xmas2018 restructuring.
+    let conc = booters_market::concentration::ConcentrationSeries::from_weeks(&scenario.weeks);
+    let xmas_week = scenario
+        .weeks
+        .iter()
+        .find(|w| w.monday >= Date::new(2018, 12, 17))
+        .map(|w| w.week)
+        .unwrap_or(0);
+    let before = conc.mean_hhi(xmas_week.saturating_sub(12), xmas_week);
+    let after = conc.mean_hhi(xmas_week + 2, xmas_week + 12);
+    println!(
+        "market HHI: {before:.3} before Xmas2018 -> {after:.3} after \
+         (effective competitors {:.1} -> {:.1})",
+        1.0 / before,
+        1.0 / after
+    );
+}

@@ -1,0 +1,21 @@
+//! Regenerate the §3 self-report validation analysis: White's
+//! heteroskedasticity test, the skewness/kurtosis normality tests, the
+//! prime-divisibility multiplier check and the cross-dataset correlation.
+//!
+//! Usage: `cargo run --release -p booters-bench --bin repro_validation [scale]`
+
+use booters_bench::{run_scenario, scale_from_args, write_artifact};
+use booters_core::verify::{cross_dataset_correlation, render_validation, validate_top_booters};
+
+fn main() {
+    let scale = scale_from_args();
+    let scenario = run_scenario(scale);
+    let validations = validate_top_booters(&scenario.selfreport, 10);
+    let corr = cross_dataset_correlation(&scenario.honeypot, &scenario.selfreport);
+    let rendered = render_validation(&validations, corr);
+    println!("{rendered}");
+    println!("Paper reference (§3): the top ten booters' series were normally");
+    println!("distributed or heteroskedastic at 95% confidence; no sequences were");
+    println!("divisible by any prime below 50; cross-dataset correlation 0.47.");
+    write_artifact("validation.txt", &rendered);
+}

@@ -1,0 +1,376 @@
+//! End-to-end scenario: market → honeypot observation → datasets.
+//!
+//! The market simulator produces ground-truth weekly attack volumes; the
+//! honeypot layer observes them with booter-dependent coverage (honest
+//! booters ≈ full coverage, honeypot-avoiding booters only when their scan
+//! filter leaks). Three fidelities trade packet-level realism against
+//! runtime:
+//!
+//! * [`Fidelity::Aggregate`] — one coverage probe per (booter, week)
+//!   through the real [`booters_netsim::Engine`]; per-cell counts are then
+//!   binomially thinned at the measured weekly rate. Fast enough for the
+//!   full five-year, paper-scale run.
+//! * [`Fidelity::PacketSampled`] — expands a bounded sample of actual
+//!   [`booters_netsim::AttackCommand`]s per week and asks the engine per
+//!   command; the observed fraction scales the cells.
+//! * [`Fidelity::FullPackets`] — the whole measurement chain: spoofed
+//!   packets, sensor logs, 15-minute flow grouping, attack/scan
+//!   classification. Use on short windows.
+
+use crate::datasets::{CounterHistory, HoneypotDataset, SelfReportDataset};
+use booters_market::commands::commands_for_week;
+use booters_market::market::{sample_binomial, MarketConfig, MarketSim, WeekOutput};
+use booters_netsim::flow::{FlowClass, FlowGrouper};
+use booters_netsim::{AttackCommand, Country, Engine, EngineConfig, UdpProtocol, VictimAddr};
+use booters_timeseries::Date;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Observation fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Booter-week coverage probes + binomial thinning (default).
+    Aggregate,
+    /// Per-command observation decisions on a sample of commands per week.
+    PacketSampled {
+        /// Commands expanded per week.
+        per_week: usize,
+    },
+    /// Full packet generation and flow classification.
+    FullPackets {
+        /// Commands expanded per week (packet-level cost per command).
+        per_week: usize,
+    },
+}
+
+/// Scenario configuration.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Market configuration (calibration, scale, seed).
+    pub market: MarketConfig,
+    /// Honeypot engine configuration.
+    pub engine: EngineConfig,
+    /// Observation fidelity.
+    pub fidelity: Fidelity,
+    /// Seed for the observation layer's RNG.
+    pub observe_seed: u64,
+    /// First week of the self-report scrape (the collection began
+    /// November 2017).
+    pub selfreport_start: Date,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            market: MarketConfig::default(),
+            engine: EngineConfig::default(),
+            fidelity: Fidelity::Aggregate,
+            observe_seed: 0x0B5E,
+            selfreport_start: Date::new(2017, 11, 6),
+        }
+    }
+}
+
+/// A fully simulated and observed scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The honeypot-observed dataset (what the paper analyses in §4).
+    pub honeypot: HoneypotDataset,
+    /// Ground truth commanded volumes (for coverage/validation work —
+    /// the paper never sees this).
+    pub ground_truth: HoneypotDataset,
+    /// The booter self-report dataset (§4.3).
+    pub selfreport: SelfReportDataset,
+    /// Raw weekly market outputs.
+    pub weeks: Vec<WeekOutput>,
+}
+
+impl Scenario {
+    /// Run a scenario to completion.
+    pub fn run(config: ScenarioConfig) -> Scenario {
+        let cal_start = config.market.calibration.scenario_start;
+        let cal_end = config.market.calibration.scenario_end;
+        let mut sim = MarketSim::new(config.market.clone());
+        let mut engine = Engine::new(config.engine);
+        let mut rng = StdRng::seed_from_u64(config.observe_seed);
+
+        let mut honeypot = HoneypotDataset::new(cal_start, cal_end);
+        let mut ground_truth = HoneypotDataset::new(cal_start, cal_end);
+        let sr_start = config.selfreport_start.week_start();
+        let mut counters: BTreeMap<u32, CounterHistory> = BTreeMap::new();
+        let n_weeks_total = sim.n_weeks();
+        let sr_weeks = ((cal_end.week_start().days_since(sr_start)) / 7).max(0) as usize;
+        let mut deaths = booters_timeseries::WeeklySeries::zeros(sr_start, sr_weeks);
+        let mut resurrections = booters_timeseries::WeeklySeries::zeros(sr_start, sr_weeks);
+        let mut births = booters_timeseries::WeeklySeries::zeros(sr_start, sr_weeks);
+
+        let mut weeks = Vec::with_capacity(n_weeks_total);
+        while let Some(out) = sim.step() {
+            let monday = out.monday;
+
+            // --- honeypot observation -----------------------------------
+            let rate = match config.fidelity {
+                Fidelity::Aggregate => {
+                    coverage_rate_aggregate(&mut engine, &out, sim.population().booters())
+                }
+                Fidelity::PacketSampled { per_week } => {
+                    let booters_now = sim.population().booters();
+                    let cmds = commands_for_week(&out, booters_now, &mut rng, per_week);
+                    if cmds.is_empty() {
+                        1.0
+                    } else {
+                        let seen = cmds.iter().filter(|c| engine.would_observe(c)).count();
+                        seen as f64 / cmds.len() as f64
+                    }
+                }
+                Fidelity::FullPackets { per_week } => {
+                    let booters_now = sim.population().booters();
+                    let cmds = commands_for_week(&out, booters_now, &mut rng, per_week);
+                    full_packet_rate(&mut engine, &cmds)
+                }
+            };
+
+            // Thin every cell at the measured weekly coverage rate and
+            // rebuild the aggregates from the thinned cells so all views
+            // stay consistent.
+            let mut observed_global = 0u64;
+            let n_protocols = UdpProtocol::ALL.len();
+            for country in Country::ALL {
+                let ci = country.index();
+                let mut country_total = 0u64;
+                for (pi, _) in UdpProtocol::ALL.iter().enumerate() {
+                    let cell = out.country_protocol[ci][pi];
+                    let seen = sample_binomial(&mut rng, cell, rate);
+                    country_total += seen;
+                    let s = &mut honeypot.by_protocol[pi];
+                    s.add_event(monday, seen as f64);
+                    let g = &mut ground_truth.by_protocol[pi];
+                    g.add_event(monday, cell as f64);
+                    honeypot.country_protocol[ci * n_protocols + pi]
+                        .add_event(monday, seen as f64);
+                    ground_truth.country_protocol[ci * n_protocols + pi]
+                        .add_event(monday, cell as f64);
+                }
+                honeypot.by_country[ci].add_event(monday, country_total as f64);
+                ground_truth.by_country[ci].add_event(monday, out.country_counts[ci] as f64);
+                observed_global += country_total;
+            }
+            honeypot.global.add_event(monday, observed_global as f64);
+            ground_truth.global.add_event(monday, out.total as f64);
+
+            // --- self-report scrape -------------------------------------
+            if monday >= sr_start {
+                let sr_week = (monday.days_since(sr_start) / 7) as usize;
+                for (id, c) in &out.displayed_counters {
+                    counters.entry(*id).or_default().insert(sr_week, *c);
+                }
+                if sr_week < sr_weeks {
+                    deaths.set(sr_week, out.lifecycle.deaths as f64);
+                    resurrections.set(sr_week, out.lifecycle.resurrections as f64);
+                    births.set(sr_week, out.lifecycle.births as f64);
+                }
+            }
+
+            engine.maintain(out.week as u64 * 7 * 86_400);
+            weeks.push(out);
+        }
+
+        Scenario {
+            honeypot,
+            ground_truth,
+            selfreport: SelfReportDataset {
+                start: sr_start,
+                counters,
+                deaths,
+                resurrections,
+                births,
+            },
+            weeks,
+        }
+    }
+}
+
+/// Aggregate fidelity: probe the engine once per (booter, week) with a
+/// representative command and weight by the booter's attack volume.
+fn coverage_rate_aggregate(
+    engine: &mut Engine,
+    out: &WeekOutput,
+    booters: &[booters_market::Booter],
+) -> f64 {
+    let week_time = out.week as u64 * 7 * 86_400;
+    let mut commanded = 0u64;
+    let mut observed = 0u64;
+    for (id, attacks) in &out.booter_attacks {
+        if *attacks == 0 {
+            continue;
+        }
+        let Some(b) = booters.iter().find(|b| b.id == *id) else {
+            commanded += attacks;
+            observed += attacks; // new entrant this week: honest default
+            continue;
+        };
+        let protocol = b.protocols.first().copied().unwrap_or(UdpProtocol::Ldap);
+        let probe = AttackCommand {
+            time: week_time,
+            victim: VictimAddr::from_octets(25, 0, 0, 1),
+            protocol,
+            duration_secs: 300,
+            packets_per_second: 50_000,
+            booter: b.id,
+            avoids_honeypots: b.avoids_honeypots,
+        };
+        commanded += attacks;
+        if engine.would_observe(&probe) {
+            observed += attacks;
+        }
+    }
+    if commanded == 0 {
+        1.0
+    } else {
+        observed as f64 / commanded as f64
+    }
+}
+
+/// Full-packet fidelity: simulate every sampled command's packets, group
+/// flows, classify, and return the fraction of commands recovered as
+/// attacks.
+fn full_packet_rate(engine: &mut Engine, cmds: &[AttackCommand]) -> f64 {
+    if cmds.is_empty() {
+        return 1.0;
+    }
+    let mut grouper = FlowGrouper::new();
+    for cmd in cmds {
+        for p in engine.simulate_attack_packets(cmd) {
+            grouper.push(&p);
+        }
+    }
+    let flows = grouper.finish();
+    let attacks = flows
+        .iter()
+        .filter(|f| f.classify() == FlowClass::Attack)
+        .count();
+    (attacks as f64 / cmds.len() as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use booters_market::calibration::Calibration;
+
+    fn small_config(fidelity: Fidelity) -> ScenarioConfig {
+        let cal = Calibration {
+            // Short window for tests: one year around the Xmas2018 event.
+            scenario_start: Date::new(2018, 6, 4),
+            scenario_end: Date::new(2019, 4, 1),
+            ..Calibration::default()
+        };
+        ScenarioConfig {
+            market: MarketConfig {
+                calibration: cal,
+                scale: 0.01,
+                seed: 11,
+                ..MarketConfig::default()
+            },
+            fidelity,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn aggregate_scenario_produces_consistent_datasets() {
+        let s = Scenario::run(small_config(Fidelity::Aggregate));
+        assert!(s.honeypot.global.total() > 0.0);
+        // Observed never exceeds ground truth.
+        for (o, g) in s
+            .honeypot
+            .global
+            .values()
+            .iter()
+            .zip(s.ground_truth.global.values())
+        {
+            assert!(o <= g, "observed {o} > truth {g}");
+        }
+        // Per-country sums equal the global series week by week.
+        for i in 0..s.honeypot.global.len() {
+            let sum: f64 = s.honeypot.by_country.iter().map(|c| c.get(i)).sum();
+            assert!((sum - s.honeypot.global.get(i)).abs() < 1e-9, "week {i}");
+            let psum: f64 = s.honeypot.by_protocol.iter().map(|c| c.get(i)).sum();
+            assert!((psum - s.honeypot.global.get(i)).abs() < 1e-9, "week {i} protocols");
+        }
+    }
+
+    #[test]
+    fn coverage_is_high_but_not_total() {
+        let s = Scenario::run(small_config(Fidelity::Aggregate));
+        let rate = s.honeypot.global.total() / s.ground_truth.global.total();
+        assert!(rate > 0.6 && rate < 1.0, "rate={rate}");
+    }
+
+    #[test]
+    fn packet_sampled_fidelity_agrees_with_aggregate() {
+        let agg = Scenario::run(small_config(Fidelity::Aggregate));
+        let pkt = Scenario::run(small_config(Fidelity::PacketSampled { per_week: 300 }));
+        let ra = agg.honeypot.global.total() / agg.ground_truth.global.total();
+        let rp = pkt.honeypot.global.total() / pkt.ground_truth.global.total();
+        assert!((ra - rp).abs() < 0.15, "aggregate={ra} sampled={rp}");
+    }
+
+    #[test]
+    fn full_packet_fidelity_runs_the_whole_chain() {
+        let mut cfg = small_config(Fidelity::FullPackets { per_week: 40 });
+        // Even shorter window: 8 weeks.
+        cfg.market.calibration.scenario_start = Date::new(2018, 9, 3);
+        cfg.market.calibration.scenario_end = Date::new(2018, 10, 29);
+        let s = Scenario::run(cfg);
+        let rate = s.honeypot.global.total() / s.ground_truth.global.total();
+        assert!(rate > 0.5, "rate={rate}");
+    }
+
+    #[test]
+    fn selfreport_counters_are_scraped_weekly() {
+        let s = Scenario::run(small_config(Fidelity::Aggregate));
+        assert!(s.selfreport.counters.len() > 20, "{} booters", s.selfreport.counters.len());
+        // Counter histories are non-decreasing except wipes (rare).
+        let mut violations = 0;
+        let mut total = 0;
+        for h in s.selfreport.counters.values() {
+            let vals: Vec<u64> = h.values().copied().collect();
+            for w in vals.windows(2) {
+                total += 1;
+                if w[1] < w[0] {
+                    violations += 1;
+                }
+            }
+        }
+        assert!(total > 200);
+        assert!((violations as f64) < 0.05 * total as f64);
+    }
+
+    #[test]
+    fn lifecycle_series_show_xmas_death_spike() {
+        let s = Scenario::run(small_config(Fidelity::Aggregate));
+        let xmas_week = s
+            .selfreport
+            .deaths
+            .index_of(Date::new(2018, 12, 17))
+            .unwrap();
+        assert!(
+            s.selfreport.deaths.get(xmas_week) >= 7.0,
+            "deaths={}",
+            s.selfreport.deaths.get(xmas_week)
+        );
+        // Typical weeks are quiet.
+        let quiet: usize = (0..s.selfreport.deaths.len())
+            .filter(|&i| s.selfreport.deaths.get(i) <= 3.0)
+            .count();
+        assert!(quiet * 10 >= s.selfreport.deaths.len() * 7);
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = Scenario::run(small_config(Fidelity::Aggregate));
+        let b = Scenario::run(small_config(Fidelity::Aggregate));
+        assert_eq!(a.honeypot.global.values(), b.honeypot.global.values());
+    }
+}

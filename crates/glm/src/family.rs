@@ -1,0 +1,191 @@
+//! GLM families: variance functions, log-likelihoods and deviances.
+
+use booters_stats::special::ln_gamma;
+
+/// An exponential-family (or quasi-family) distribution for a GLM.
+pub trait Family {
+    /// Var(Y) as a function of the mean μ.
+    fn variance(&self, mu: f64) -> f64;
+
+    /// Log-likelihood contribution of one observation.
+    fn log_likelihood(&self, y: f64, mu: f64) -> f64;
+
+    /// Unit deviance contribution of one observation
+    /// (d_i with total deviance D = Σ d_i).
+    fn unit_deviance(&self, y: f64, mu: f64) -> f64;
+
+    /// Short name for summaries.
+    fn name(&self) -> &'static str;
+}
+
+/// Gaussian family with (profile) unit variance — the deviance is the RSS.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gaussian;
+
+impl Family for Gaussian {
+    fn variance(&self, _mu: f64) -> f64 {
+        1.0
+    }
+
+    fn log_likelihood(&self, y: f64, mu: f64) -> f64 {
+        // Unit-variance normal log-density (constant-σ case is handled by
+        // OLS which profiles σ out).
+        let r = y - mu;
+        -0.5 * (r * r + (2.0 * std::f64::consts::PI).ln())
+    }
+
+    fn unit_deviance(&self, y: f64, mu: f64) -> f64 {
+        let r = y - mu;
+        r * r
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian"
+    }
+}
+
+/// Poisson family: Var = μ.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoissonFamily;
+
+impl Family for PoissonFamily {
+    fn variance(&self, mu: f64) -> f64 {
+        mu.max(f64::MIN_POSITIVE)
+    }
+
+    fn log_likelihood(&self, y: f64, mu: f64) -> f64 {
+        let mu = mu.max(f64::MIN_POSITIVE);
+        y * mu.ln() - mu - ln_gamma(y + 1.0)
+    }
+
+    fn unit_deviance(&self, y: f64, mu: f64) -> f64 {
+        let mu = mu.max(f64::MIN_POSITIVE);
+        let term = if y > 0.0 { y * (y / mu).ln() } else { 0.0 };
+        2.0 * (term - (y - mu))
+    }
+
+    fn name(&self) -> &'static str {
+        "poisson"
+    }
+}
+
+/// NB2 negative binomial family with fixed dispersion α: Var = μ + α μ².
+///
+/// The NB2 log-likelihood (Cameron & Trivedi eq. 3.26):
+/// ℓ = Σ lnΓ(y+1/α) − lnΓ(1/α) − lnΓ(y+1) + y ln(αμ) − (y+1/α) ln(1+αμ).
+#[derive(Debug, Clone, Copy)]
+pub struct NegBin2 {
+    /// Dispersion parameter α > 0.
+    pub alpha: f64,
+}
+
+impl NegBin2 {
+    /// Construct with dispersion α; panics unless α > 0.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "NegBin2: alpha must be > 0, got {alpha}");
+        NegBin2 { alpha }
+    }
+}
+
+impl Family for NegBin2 {
+    fn variance(&self, mu: f64) -> f64 {
+        let mu = mu.max(f64::MIN_POSITIVE);
+        mu + self.alpha * mu * mu
+    }
+
+    fn log_likelihood(&self, y: f64, mu: f64) -> f64 {
+        let mu = mu.max(f64::MIN_POSITIVE);
+        let a = self.alpha;
+        let inv_a = 1.0 / a;
+        ln_gamma(y + inv_a) - ln_gamma(inv_a) - ln_gamma(y + 1.0) + y * (a * mu).ln()
+            - (y + inv_a) * (1.0 + a * mu).ln()
+    }
+
+    fn unit_deviance(&self, y: f64, mu: f64) -> f64 {
+        let mu = mu.max(f64::MIN_POSITIVE);
+        let a = self.alpha;
+        let t1 = if y > 0.0 { y * (y / mu).ln() } else { 0.0 };
+        let y_adj = y + 1.0 / a;
+        let t2 = y_adj * ((1.0 + a * y) / (1.0 + a * mu)).ln();
+        2.0 * (t1 - t2)
+    }
+
+    fn name(&self) -> &'static str {
+        "negbin2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use booters_stats::dist::{NegativeBinomial, Poisson};
+
+    #[test]
+    fn poisson_loglik_matches_distribution() {
+        let f = PoissonFamily;
+        let d = Poisson::new(4.2);
+        for k in 0..10u64 {
+            assert!((f.log_likelihood(k as f64, 4.2) - d.ln_pmf(k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn poisson_deviance_zero_at_saturation() {
+        let f = PoissonFamily;
+        assert!(f.unit_deviance(5.0, 5.0).abs() < 1e-12);
+        assert!(f.unit_deviance(0.0, 1e-300) >= 0.0);
+        assert!(f.unit_deviance(5.0, 3.0) > 0.0);
+    }
+
+    #[test]
+    fn negbin_loglik_matches_distribution() {
+        let f = NegBin2::new(0.5);
+        let d = NegativeBinomial::new(7.0, 0.5);
+        for k in 0..15u64 {
+            assert!(
+                (f.log_likelihood(k as f64, 7.0) - d.ln_pmf(k)).abs() < 1e-10,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn negbin_deviance_zero_at_saturation() {
+        let f = NegBin2::new(0.3);
+        assert!(f.unit_deviance(6.0, 6.0).abs() < 1e-12);
+        assert!(f.unit_deviance(6.0, 2.0) > 0.0);
+        assert!(f.unit_deviance(0.0, 2.0) > 0.0);
+    }
+
+    #[test]
+    fn negbin_variance_formula() {
+        let f = NegBin2::new(0.25);
+        assert!((f.variance(10.0) - 35.0).abs() < 1e-12); // 10 + 0.25*100
+    }
+
+    #[test]
+    fn negbin_approaches_poisson_likelihood() {
+        // α = 1e-6 is the fitter's lower search bound; below that the
+        // lnΓ(y+1/α) − lnΓ(1/α) difference loses float precision.
+        let nb = NegBin2::new(1e-6);
+        let po = PoissonFamily;
+        for k in 0..10u64 {
+            let a = nb.log_likelihood(k as f64, 5.0);
+            let b = po.log_likelihood(k as f64, 5.0);
+            assert!((a - b).abs() < 1e-4, "k={k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gaussian_deviance_is_squared_error() {
+        let g = Gaussian;
+        assert_eq!(g.unit_deviance(3.0, 1.0), 4.0);
+        assert_eq!(g.variance(123.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be > 0")]
+    fn negbin_rejects_zero_alpha() {
+        NegBin2::new(0.0);
+    }
+}

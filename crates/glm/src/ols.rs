@@ -1,0 +1,225 @@
+//! Ordinary least squares with full inference.
+//!
+//! Used directly for the Figure 5 slope comparisons (UK vs US trends
+//! before/during the NCA advertising campaign) and as the substrate of
+//! White's heteroskedasticity test.
+
+use crate::inference::CoefEstimate;
+use booters_linalg::{LinalgError, Matrix, Qr};
+use booters_stats::dist::{FDist, StudentsT};
+
+/// A fitted OLS regression.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    /// Per-coefficient inference (t-based).
+    pub coefficients: Vec<CoefEstimate>,
+    /// Fitted values.
+    pub fitted: Vec<f64>,
+    /// Residuals.
+    pub residuals: Vec<f64>,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Total sum of squares (about the mean).
+    pub tss: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Adjusted R².
+    pub adj_r_squared: f64,
+    /// Residual standard error.
+    pub sigma: f64,
+    /// Overall F statistic (slope coefficients jointly zero).
+    pub f_statistic: f64,
+    /// p-value of the F statistic.
+    pub f_p_value: f64,
+    /// Observations.
+    pub n: usize,
+    /// Parameters.
+    pub p: usize,
+}
+
+impl OlsFit {
+    /// Look up a coefficient by name.
+    pub fn coef(&self, name: &str) -> Option<&CoefEstimate> {
+        self.coefficients.iter().find(|c| c.name == name)
+    }
+}
+
+/// Fit OLS of `y` on `x` (the design must already include any constant
+/// column). `names` labels the columns; `level` sets the CI coverage.
+///
+/// Inference uses the exact t distribution with n−p degrees of freedom.
+pub fn fit_ols(
+    x: &Matrix,
+    y: &[f64],
+    names: &[String],
+    level: f64,
+) -> Result<OlsFit, LinalgError> {
+    let n = x.rows();
+    let p = x.cols();
+    assert_eq!(y.len(), n, "fit_ols: response length mismatch");
+    assert_eq!(names.len(), p, "fit_ols: names length mismatch");
+    assert!(n > p, "fit_ols: need more observations than parameters");
+
+    let qr = Qr::new(x)?;
+    let beta = qr.solve(y)?;
+    let fitted = x.matvec(&beta)?;
+    let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
+    let rss: f64 = residuals.iter().map(|r| r * r).sum();
+    let ybar = y.iter().sum::<f64>() / n as f64;
+    let tss: f64 = y.iter().map(|v| (v - ybar) * (v - ybar)).sum();
+    let df = (n - p) as f64;
+    let sigma2 = rss / df;
+    let sigma = sigma2.sqrt();
+    let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };
+    let adj_r_squared = 1.0 - (1.0 - r_squared) * (n as f64 - 1.0) / df;
+
+    let xtx_inv = qr.xtx_inverse()?;
+    let tdist = StudentsT::new(df);
+    let tcrit = tdist.quantile(0.5 + level / 2.0);
+    let mut coefficients = Vec::with_capacity(p);
+    for j in 0..p {
+        let se = (sigma2 * xtx_inv[(j, j)].max(0.0)).sqrt();
+        let t = if se > 0.0 { beta[j] / se } else { f64::INFINITY };
+        coefficients.push(CoefEstimate {
+            name: names[j].clone(),
+            coef: beta[j],
+            std_error: se,
+            z: t,
+            p_value: tdist.two_sided_p(t),
+            ci_lower: beta[j] - tcrit * se,
+            ci_upper: beta[j] + tcrit * se,
+        });
+    }
+
+    // Overall F test against the intercept-only model (slopes = p−1 when a
+    // constant is present; we use p−1 as the numerator df which matches the
+    // conventional summary when the design includes an intercept).
+    let k = (p.max(1) - 1) as f64;
+    let (f_statistic, f_p_value) = if k > 0.0 && rss > 0.0 && tss > rss {
+        let f = ((tss - rss) / k) / sigma2;
+        (f, FDist::new(k, df).sf(f))
+    } else {
+        (f64::NAN, f64::NAN)
+    };
+
+    Ok(OlsFit {
+        coefficients,
+        fitted,
+        residuals,
+        rss,
+        tss,
+        r_squared,
+        adj_r_squared,
+        sigma,
+        f_statistic,
+        f_p_value,
+        n,
+        p,
+    })
+}
+
+/// Convenience: simple regression of `y` on a single regressor plus
+/// intercept; returns the full fit with columns `_cons`, `x`.
+pub fn fit_simple(xs: &[f64], ys: &[f64], level: f64) -> Result<OlsFit, LinalgError> {
+    let n = xs.len();
+    let mut x = Matrix::zeros(n, 2);
+    for i in 0..n {
+        x[(i, 0)] = 1.0;
+        x[(i, 1)] = xs[i];
+    }
+    fit_ols(&x, ys, &["_cons".to_string(), "x".to_string()], level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_line_has_zero_residuals() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.0 + 3.0 * x).collect();
+        let fit = fit_simple(&xs, &ys, 0.95).unwrap();
+        assert!((fit.coef("_cons").unwrap().coef - 2.0).abs() < 1e-10);
+        assert!((fit.coef("x").unwrap().coef - 3.0).abs() < 1e-10);
+        assert!(fit.rss < 1e-18);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inference_matches_textbook_example() {
+        // Small dataset with hand-checkable values.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.0, 5.0, 4.0, 5.0];
+        let fit = fit_simple(&xs, &ys, 0.95).unwrap();
+        // slope = Sxy/Sxx = 6/10 = 0.6; intercept = 4 − 0.6·3 = 2.2
+        let slope = fit.coef("x").unwrap();
+        assert!((slope.coef - 0.6).abs() < 1e-12);
+        assert!((fit.coef("_cons").unwrap().coef - 2.2).abs() < 1e-12);
+        // RSS = Σ(y−ŷ)² = 3.4 − ... compute: fitted = 2.8,3.4,4,4.6,5.2
+        // residuals: -0.8,0.6,1,-0.6,-0.2 → RSS = 0.64+0.36+1+0.36+0.04 = 2.4
+        assert!((fit.rss - 2.4).abs() < 1e-12);
+        // σ² = 2.4/3 = 0.8; SE(slope) = sqrt(0.8/10) ≈ 0.2828
+        assert!((slope.std_error - (0.8f64 / 10.0).sqrt()).abs() < 1e-10);
+        // t = 0.6/0.2828 ≈ 2.1213; p ≈ 0.124
+        assert!((slope.z - 2.121_320_343_559_642).abs() < 1e-9);
+        assert!((slope.p_value - 0.124).abs() < 0.002);
+    }
+
+    #[test]
+    fn ci_covers_true_slope_under_noise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 200;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 1.0 + 0.5 * x + booters_stats::dist::standard_normal_sample(&mut rng))
+            .collect();
+        let fit = fit_simple(&xs, &ys, 0.95).unwrap();
+        let s = fit.coef("x").unwrap();
+        assert!(s.ci_lower < 0.5 && 0.5 < s.ci_upper);
+        assert!(fit.f_p_value < 1e-10);
+    }
+
+    #[test]
+    fn r_squared_zero_for_pure_noise_slope() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let n = 300;
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|_| booters_stats::dist::standard_normal_sample(&mut rng))
+            .collect();
+        let fit = fit_simple(&xs, &ys, 0.95).unwrap();
+        assert!(fit.r_squared < 0.05);
+        assert!(!fit.coef("x").unwrap().reject_like());
+    }
+
+    impl CoefEstimate {
+        fn reject_like(&self) -> bool {
+            self.p_value < 0.05
+        }
+    }
+
+    #[test]
+    fn multivariate_fit_recovers_coefficients() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let n = 400;
+        let mut x = Matrix::zeros(n, 3);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let a = (i % 17) as f64;
+            let b = ((i * 7) % 23) as f64;
+            x[(i, 0)] = 1.0;
+            x[(i, 1)] = a;
+            x[(i, 2)] = b;
+            y[i] = 5.0 - 0.3 * a + 0.7 * b
+                + 0.5 * booters_stats::dist::standard_normal_sample(&mut rng);
+        }
+        let names = vec!["_cons".into(), "a".into(), "b".into()];
+        let fit = fit_ols(&x, &y, &names, 0.95).unwrap();
+        assert!((fit.coef("a").unwrap().coef + 0.3).abs() < 0.02);
+        assert!((fit.coef("b").unwrap().coef - 0.7).abs() < 0.02);
+        assert!(fit.adj_r_squared > 0.9);
+    }
+}

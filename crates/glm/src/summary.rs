@@ -1,0 +1,128 @@
+//! Table 1-style rendering of fitted models.
+//!
+//! The paper's Table 1 lists, per regressor: coefficient, standard error,
+//! z, P>|z| and the 95% CI, with `*`/`**` significance markers. This module
+//! renders the same layout from a [`FitInference`].
+
+use crate::inference::FitInference;
+use crate::negbin::NegBinFit;
+
+/// Render a coefficient table in the paper's Table 1 layout.
+pub fn coefficient_table(inference: &FitInference) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>10} {:>8} {:>8}  {:>9} {:>9}\n",
+        "", "Coef.", "Std.err.", "z", "P>|z|", "L95", "U95"
+    ));
+    for c in &inference.coefficients {
+        out.push_str(&format!(
+            "{:<28} {:>10.3} {:>10.4} {:>8.2} {:>6.3}{:<2} {:>9.3} {:>9.3}\n",
+            c.name,
+            c.coef,
+            c.std_error,
+            c.z,
+            c.p_value,
+            c.stars(),
+            c.ci_lower,
+            c.ci_upper
+        ));
+    }
+    out
+}
+
+/// Render a full NB2 model summary: header with α, log-likelihood and the
+/// overdispersion LR test, then the coefficient table.
+pub fn negbin_summary(fit: &NegBinFit) -> String {
+    let (lr, lr_p) = fit.overdispersion_lr();
+    let mut out = String::new();
+    out.push_str("Negative binomial regression (NB2, log link)\n");
+    out.push_str(&format!(
+        "  n = {}    parameters = {}    alpha = {:.5}\n",
+        fit.fit.n, fit.fit.p, fit.alpha
+    ));
+    out.push_str(&format!(
+        "  log-likelihood = {:.2}    Poisson LL = {:.2}    LR(alpha=0) = {:.1} (p = {:.2e})\n",
+        fit.log_likelihood, fit.poisson_log_likelihood, lr, lr_p
+    ));
+    out.push_str(&format!(
+        "  covariance: {:?}, {:.0}% CI\n\n",
+        fit.inference.kind,
+        fit.inference.level * 100.0
+    ));
+    out.push_str(&coefficient_table(&fit.inference));
+    out
+}
+
+/// Render an OLS fit summary (used for the Figure 5 slope regressions).
+pub fn ols_summary(fit: &crate::ols::OlsFit) -> String {
+    let mut out = String::from("Ordinary least squares\n");
+    out.push_str(&format!(
+        "  n = {}    parameters = {}    R² = {:.4}  (adj {:.4})    σ = {:.4}\n",
+        fit.n, fit.p, fit.r_squared, fit.adj_r_squared, fit.sigma
+    ));
+    if fit.f_statistic.is_finite() {
+        out.push_str(&format!(
+            "  F = {:.2} (p = {:.3e})\n",
+            fit.f_statistic, fit.f_p_value
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<20} {:>10} {:>10} {:>8} {:>8}  {:>9} {:>9}\n",
+        "", "Coef.", "Std.err.", "t", "P>|t|", "L95", "U95"
+    ));
+    for c in &fit.coefficients {
+        out.push_str(&format!(
+            "{:<20} {:>10.4} {:>10.4} {:>8.2} {:>6.3}{:<2} {:>9.4} {:>9.4}\n",
+            c.name, c.coef, c.std_error, c.z, c.p_value, c.stars(), c.ci_lower, c.ci_upper
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use booters_linalg::Matrix;
+    use booters_stats::dist::NegativeBinomial;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ols_summary_renders() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + 2.0 * x + (x * 7.0).sin()).collect();
+        let fit = crate::ols::fit_simple(&xs, &ys, 0.95).unwrap();
+        let s = ols_summary(&fit);
+        assert!(s.contains("Ordinary least squares"));
+        assert!(s.contains("_cons"));
+        assert!(s.contains("R²"));
+        assert!(s.contains('F'));
+    }
+
+    #[test]
+    fn summary_contains_expected_fields() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 200;
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            x[(i, 0)] = 1.0;
+            x[(i, 1)] = (i % 10) as f64;
+            let mu = (2.0 + 0.1 * x[(i, 1)]).exp();
+            y[i] = NegativeBinomial::new(mu, 0.3).sample(&mut rng) as f64;
+        }
+        let names = vec!["_cons".to_string(), "time".to_string()];
+        let fit =
+            crate::negbin::fit_negbin(&x, &y, &names, &crate::negbin::NegBinOptions::default())
+                .unwrap();
+        let s = negbin_summary(&fit);
+        assert!(s.contains("Negative binomial regression"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("_cons"));
+        assert!(s.contains("time"));
+        assert!(s.contains("L95"));
+        // Table has one line per coefficient plus headers.
+        assert!(s.lines().count() >= 7);
+    }
+}

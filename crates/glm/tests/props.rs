@@ -1,0 +1,112 @@
+//! Property-based tests for the GLM stack: estimator invariances that
+//! must hold for any data.
+
+use booters_glm::irls::{fit_irls, IrlsOptions};
+use booters_glm::negbin::{fit_negbin, NegBinOptions};
+use booters_glm::ols::fit_simple;
+use booters_glm::{LogLink, PoissonFamily};
+use booters_linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a small regression problem with positive counts.
+fn count_problem() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    prop::collection::vec((0.0..10.0f64, 0u64..400), 12..60).prop_map(|rows| {
+        let xs: Vec<f64> = rows.iter().map(|(x, _)| *x).collect();
+        let ys: Vec<f64> = rows.iter().map(|(_, y)| *y as f64).collect();
+        (xs, ys)
+    })
+}
+
+fn design(xs: &[f64]) -> Matrix {
+    let mut m = Matrix::zeros(xs.len(), 2);
+    for (i, &x) in xs.iter().enumerate() {
+        m[(i, 0)] = 1.0;
+        m[(i, 1)] = x;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ols_residuals_sum_to_zero_with_intercept((xs, ys) in count_problem()) {
+        if let Ok(fit) = fit_simple(&xs, &ys, 0.95) {
+            let s: f64 = fit.residuals.iter().sum();
+            prop_assert!(s.abs() < 1e-6 * ys.len() as f64, "Σr = {s}");
+            // R² in [0, 1].
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&fit.r_squared));
+        }
+    }
+
+    #[test]
+    fn ols_shift_equivariance((xs, ys) in count_problem(), c in -100.0..100.0f64) {
+        let shifted: Vec<f64> = ys.iter().map(|y| y + c).collect();
+        if let (Ok(a), Ok(b)) = (fit_simple(&xs, &ys, 0.95), fit_simple(&xs, &shifted, 0.95)) {
+            // Slope unchanged, intercept shifts by c.
+            let sa = a.coef("x").unwrap().coef;
+            let sb = b.coef("x").unwrap().coef;
+            prop_assert!((sa - sb).abs() < 1e-6, "slopes {sa} vs {sb}");
+            let ia = a.coef("_cons").unwrap().coef;
+            let ib = b.coef("_cons").unwrap().coef;
+            prop_assert!((ib - ia - c).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn poisson_score_equation_holds((xs, ys) in count_problem()) {
+        // At the MLE, Σ(y−μ)=0 and Σx(y−μ)=0 (score equations for the
+        // canonical log link).
+        let x = design(&xs);
+        if ys.iter().sum::<f64>() == 0.0 {
+            return Ok(());
+        }
+        if let Ok(fit) = fit_irls(&x, &ys, &PoissonFamily, &LogLink, &IrlsOptions::default()) {
+            let r: Vec<f64> = ys.iter().zip(&fit.mu).map(|(y, m)| y - m).collect();
+            let scale = ys.iter().sum::<f64>().max(1.0);
+            prop_assert!(r.iter().sum::<f64>().abs() / scale < 1e-5);
+            let xr: f64 = xs.iter().zip(&r).map(|(x, e)| x * e).sum();
+            prop_assert!(xr.abs() / scale < 1e-4);
+        }
+    }
+
+    #[test]
+    fn log_link_scale_shifts_only_intercept((xs, ys) in count_problem(), k in 2u64..10) {
+        // Multiplying counts by k shifts the intercept by ln k and leaves
+        // the slope (approximately — k·y is still integer-valued Poisson-
+        // like) unchanged.
+        if ys.iter().sum::<f64>() == 0.0 {
+            return Ok(());
+        }
+        let x = design(&xs);
+        let scaled: Vec<f64> = ys.iter().map(|y| y * k as f64).collect();
+        let a = fit_irls(&x, &ys, &PoissonFamily, &LogLink, &IrlsOptions::default());
+        let b = fit_irls(&x, &scaled, &PoissonFamily, &LogLink, &IrlsOptions::default());
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert!((b.beta[1] - a.beta[1]).abs() < 1e-5, "slopes differ");
+            prop_assert!((b.beta[0] - a.beta[0] - (k as f64).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn negbin_loglik_at_least_poisson((xs, ys) in count_problem()) {
+        // The NB2 profile likelihood dominates the Poisson boundary value
+        // (up to search tolerance).
+        if ys.iter().sum::<f64>() == 0.0 {
+            return Ok(());
+        }
+        let x = design(&xs);
+        let names = vec!["_cons".to_string(), "x".to_string()];
+        if let Ok(fit) = fit_negbin(&x, &ys, &names, &NegBinOptions::default()) {
+            prop_assert!(
+                fit.log_likelihood >= fit.poisson_log_likelihood - 0.5,
+                "nb ll {} below poisson ll {}",
+                fit.log_likelihood,
+                fit.poisson_log_likelihood
+            );
+            prop_assert!(fit.alpha > 0.0);
+            // Fitted means are positive and finite.
+            prop_assert!(fit.fit.mu.iter().all(|m| m.is_finite() && *m > 0.0));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+/// Errors reported by the factorisation and solve routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) and cannot be factorised
+    /// or solved against.
+    Singular {
+        /// Index of the pivot/diagonal where breakdown was detected.
+        at: usize,
+    },
+    /// Cholesky encountered a non-positive pivot: the matrix is not
+    /// (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Diagonal index where the pivot failed.
+        at: usize,
+    },
+    /// The operation requires a square matrix but got a rectangular one.
+    NotSquare {
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// A least-squares problem has fewer rows than columns.
+    Underdetermined {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::Singular { at } => {
+                write!(f, "matrix is singular (pivot breakdown at index {at})")
+            }
+            LinalgError::NotPositiveDefinite { at } => write!(
+                f,
+                "matrix is not positive definite (non-positive pivot at diagonal {at})"
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Underdetermined { rows, cols } => write!(
+                f,
+                "least squares problem is underdetermined: {rows} rows < {cols} cols"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+
+        assert!(LinalgError::Singular { at: 3 }.to_string().contains("singular"));
+        assert!(LinalgError::NotPositiveDefinite { at: 0 }
+            .to_string()
+            .contains("positive definite"));
+        assert!(LinalgError::NotSquare { shape: (2, 3) }.to_string().contains("square"));
+        assert!(LinalgError::Underdetermined { rows: 2, cols: 5 }
+            .to_string()
+            .contains("underdetermined"));
+    }
+}

@@ -1,0 +1,185 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorisation with partial pivoting, `P A = L U`.
+///
+/// Used for general (possibly asymmetric) square systems — e.g. inverting
+/// the observed-information matrix of the joint (β, α) negative binomial
+/// likelihood, which is symmetric in theory but assembled from finite
+/// differences in practice.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factor a square matrix. Fails on (numerical) singularity.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest |value| in column k at/below the diagonal.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max == 0.0 || !max.is_finite() {
+                return Err(LinalgError::Singular { at: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let s = lu[(k, j)];
+                    lu[(i, j)] -= m * s;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 1..n {
+            let mut sum = y[i];
+            for k in 0..i {
+                sum -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = sum;
+        }
+        // Back substitution with U.
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for k in (i + 1)..n {
+                sum -= self.lu[(i, k)] * x[k];
+            }
+            x[i] = sum / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Inverse of the factored matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_abs_diff;
+
+    #[test]
+    fn solve_general_system() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -2.0, 3.0], &[4.0, 0.0, -1.0]]);
+        let x_true = vec![2.0, -1.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        assert!(max_abs_diff(&x, &x_true) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::new(&a).unwrap();
+        assert_eq!(lu.solve(&[3.0, 7.0]).unwrap(), vec![7.0, 3.0]);
+        assert!((lu.det() - -1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn det_matches_closed_form() {
+        let a = Matrix::from_rows(&[&[3.0, 8.0], &[4.0, 6.0]]); // det = 18 - 32 = -14
+        assert!((Lu::new(&a).unwrap().det() + 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[1.0, 3.0, 2.0], &[1.0, 0.0, 0.5]]);
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(max_abs_diff(prod.as_slice(), Matrix::identity(3).as_slice()) < 1e-10);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(3, 2)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_det_is_one() {
+        assert!((Lu::new(&Matrix::identity(4)).unwrap().det() - 1.0).abs() < 1e-14);
+    }
+}

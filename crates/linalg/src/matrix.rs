@@ -1,0 +1,527 @@
+use crate::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Row-major dense matrix of `f64`.
+///
+/// Sized for the regression problems in this workspace: design matrices with
+/// a few hundred rows and a few dozen columns. Storage is a single `Vec` so
+/// rows are contiguous and the hot loops in the factorisations stay simple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create the `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Create a matrix from nested row slices.
+    ///
+    /// # Panics
+    /// Panics if rows are ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), ncols, "Matrix::from_rows: row {i} is ragged");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
+    }
+
+    /// Create a column vector (n×1 matrix) from a slice.
+    pub fn column(v: &[f64]) -> Self {
+        Matrix::from_vec(v.len(), 1, v.to_vec())
+    }
+
+    /// Create a diagonal matrix from a slice.
+    pub fn diag(v: &[f64]) -> Self {
+        let n = v.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &x) in v.iter().enumerate() {
+            m[(i, i)] = x;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new `Vec`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows).map(|i| crate::dot(self.row(i), v)).collect())
+    }
+
+    /// `Aᵀ v` without materialising the transpose.
+    pub fn tr_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "tr_matvec",
+                left: (self.cols, self.rows),
+                right: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let r = self.row(i);
+            let vi = v[i];
+            for (o, &a) in out.iter_mut().zip(r) {
+                *o += a * vi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `Aᵀ W A` for a diagonal weight vector `w` (the IRLS normal matrix),
+    /// computed symmetrically without materialising `Aᵀ` or `W`.
+    pub fn xtwx(&self, w: &[f64]) -> Result<Matrix> {
+        if self.rows != w.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "xtwx",
+                left: self.shape(),
+                right: (w.len(), 1),
+            });
+        }
+        let p = self.cols;
+        let mut out = Matrix::zeros(p, p);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            let wi = w[i];
+            if wi == 0.0 {
+                continue;
+            }
+            for a in 0..p {
+                let ra = r[a] * wi;
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..p {
+                    out[(a, b)] += ra * r[b];
+                }
+            }
+        }
+        for a in 0..p {
+            for b in 0..a {
+                out[(a, b)] = out[(b, a)];
+            }
+        }
+        Ok(out)
+    }
+
+    /// `Aᵀ W y` for a diagonal weight vector `w`.
+    pub fn xtwy(&self, w: &[f64], y: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != w.len() || self.rows != y.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "xtwy",
+                left: self.shape(),
+                right: (w.len(), y.len()),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let r = self.row(i);
+            let s = w[i] * y[i];
+            for (o, &a) in out.iter_mut().zip(r) {
+                *o += a * s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scale every element by `s` in place.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        crate::norm2(&self.data)
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// True if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Extract the diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Check symmetry up to tolerance `tol` (absolute).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Add `lambda` to every diagonal entry (ridge regularisation).
+    pub fn add_ridge(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += lambda;
+        }
+    }
+
+    /// Horizontally concatenate `self | other`.
+    pub fn hcat(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hcat",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        Ok(out)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale(s);
+        m
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.6}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_vec(2, 2, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.diagonal(), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn from_rows_builds_row_major() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, m22(19.0, 22.0, 43.0, 50.0));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[0.0, 3.0, 9.0]]);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_and_transpose_matvec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0, 11.0]);
+        assert_eq!(a.tr_matvec(&[1.0, 1.0, 1.0]).unwrap(), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn xtwx_matches_explicit_computation() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[1.0, -1.0], &[1.0, 0.5]]);
+        let w = [2.0, 1.0, 4.0];
+        let got = x.xtwx(&w).unwrap();
+        let xt = x.transpose();
+        let wx = {
+            let mut wx = x.clone();
+            for i in 0..3 {
+                for v in wx.row_mut(i) {
+                    *v *= w[i];
+                }
+            }
+            wx
+        };
+        let expect = xt.matmul(&wx).unwrap();
+        assert!(crate::max_abs_diff(got.as_slice(), expect.as_slice()) < 1e-12);
+        assert!(got.is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn xtwy_matches_explicit_computation() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[1.0, -1.0]]);
+        let got = x.xtwy(&[3.0, 5.0], &[2.0, 4.0]).unwrap();
+        // XᵀWy = [[1,1],[2,-1]] * [6, 20] = [26, -8]
+        assert_eq!(got, vec![26.0, -8.0]);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(4.0, 3.0, 2.0, 1.0);
+        assert_eq!(&a + &b, m22(5.0, 5.0, 5.0, 5.0));
+        assert_eq!(&a - &b, m22(-3.0, -1.0, 1.0, 3.0));
+        assert_eq!(&a * 2.0, m22(2.0, 4.0, 6.0, 8.0));
+    }
+
+    #[test]
+    fn ridge_adds_to_diagonal_only() {
+        let mut a = m22(1.0, 2.0, 3.0, 4.0);
+        a.add_ridge(0.5);
+        assert_eq!(a, m22(1.5, 2.0, 3.0, 4.5));
+    }
+
+    #[test]
+    fn hcat_concatenates_columns() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = Matrix::column(&[9.0, 8.0]);
+        let c = a.hcat(&b).unwrap();
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1.0, 2.0, 9.0]);
+        assert_eq!(c.row(1), &[3.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert!(m22(1.0, 2.0, 2.0, 1.0).is_symmetric(0.0));
+        assert!(!m22(1.0, 2.0, 2.1, 1.0).is_symmetric(1e-3));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    #[test]
+    fn diag_builds_diagonal_matrix() {
+        let d = Matrix::diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.diagonal(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let s = format!("{}", m22(1.0, 2.0, 3.0, 4.0));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

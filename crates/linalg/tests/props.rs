@@ -1,0 +1,120 @@
+//! Property-based tests for the linear algebra kernel.
+
+use booters_linalg::{cholesky_with_ridge, dot, max_abs_diff, norm2, Cholesky, Lu, Matrix, Qr};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with entries in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: a random SPD matrix A = BᵀB + εI.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n + 2, n).prop_map(move |b| {
+        let mut a = b.transpose().matmul(&b).expect("shapes");
+        a.add_ridge(0.5);
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in matrix(4, 3)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(max_abs_diff(left.as_slice(), right.as_slice()) < 1e-9);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 3), b in matrix(3, 3), c in matrix(3, 2)) {
+        let left = (&a + &b).matmul(&c).unwrap();
+        let right = &a.matmul(&c).unwrap() + &b.matmul(&c).unwrap();
+        prop_assert!(max_abs_diff(left.as_slice(), right.as_slice()) < 1e-9);
+    }
+
+    #[test]
+    fn xtwx_is_symmetric_psd(x in matrix(8, 3), w in prop::collection::vec(0.0..5.0f64, 8)) {
+        let g = x.xtwx(&w).unwrap();
+        prop_assert!(g.is_symmetric(1e-9));
+        // PSD: vᵀGv >= 0 for a probe vector.
+        let v = [1.0, -2.0, 0.5];
+        let gv = g.matvec(&v).unwrap();
+        prop_assert!(dot(&v, &gv) >= -1e-9);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(a in spd(4), x in prop::collection::vec(-5.0..5.0f64, 4)) {
+        let b = a.matvec(&x).unwrap();
+        let chol = Cholesky::new(&a).unwrap();
+        let got = chol.solve(&b).unwrap();
+        prop_assert!(max_abs_diff(&got, &x) < 1e-6, "got {got:?} want {x:?}");
+    }
+
+    #[test]
+    fn cholesky_inverse_roundtrip(a in spd(3)) {
+        let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        prop_assert!(max_abs_diff(prod.as_slice(), Matrix::identity(3).as_slice()) < 1e-6);
+    }
+
+    #[test]
+    fn lu_det_matches_cholesky_logdet(a in spd(3)) {
+        let det = Lu::new(&a).unwrap().det();
+        let logdet = Cholesky::new(&a).unwrap().log_det();
+        prop_assert!(det > 0.0);
+        prop_assert!((det.ln() - logdet).abs() < 1e-8);
+    }
+
+    #[test]
+    fn qr_least_squares_residual_is_orthogonal(
+        x in matrix(10, 3),
+        y in prop::collection::vec(-5.0..5.0f64, 10),
+    ) {
+        // Skip near-rank-deficient draws.
+        let qr = match Qr::new(&x) {
+            Ok(q) => q,
+            Err(_) => return Ok(()),
+        };
+        let beta = match qr.solve(&y) {
+            Ok(b) => b,
+            Err(_) => return Ok(()),
+        };
+        let fitted = x.matvec(&beta).unwrap();
+        let resid: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
+        // Xᵀr ≈ 0 — the defining normal-equation property.
+        let xtr = x.tr_matvec(&resid).unwrap();
+        let scale = norm2(&y).max(1.0);
+        prop_assert!(norm2(&xtr) / scale < 1e-7, "Xᵀr = {xtr:?}");
+    }
+
+    #[test]
+    fn ridge_rescue_never_panics(a in matrix(4, 4)) {
+        // Symmetrise an arbitrary matrix, then ridge-rescue must either
+        // succeed or return a clean error.
+        let sym = &(&a + &a.transpose()) * 0.5;
+        let _ = cholesky_with_ridge(&sym, 14);
+    }
+
+    #[test]
+    fn solve_then_multiply_roundtrips_lu(
+        a in matrix(4, 4),
+        x in prop::collection::vec(-3.0..3.0f64, 4),
+    ) {
+        if let Ok(lu) = Lu::new(&a) {
+            // Guard against ill-conditioned draws via the determinant.
+            if lu.det().abs() > 1e-3 {
+                let b = a.matvec(&x).unwrap();
+                let got = lu.solve(&b).unwrap();
+                prop_assert!(max_abs_diff(&got, &x) < 1e-5);
+            }
+        }
+    }
+}

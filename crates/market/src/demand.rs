@@ -1,0 +1,268 @@
+//! The demand model: expected log attack intensity per country per week.
+//!
+//! Inside the modelling window (June 2016 – April 2019) this is exactly the
+//! paper's fitted model (Table 1 global shape, Table 2 per-country
+//! intervention effects), so that the analysis pipeline can recover the
+//! published coefficients from simulated draws. Before June 2016 a flat
+//! "era level" reproduces the left half of Figure 1.
+
+use crate::calibration::Calibration;
+use crate::events::{self, EventId, EventKind};
+use booters_netsim::Country;
+use booters_timeseries::seasonal::{easter_dummy, seasonal_row};
+use booters_timeseries::Date;
+
+/// Expected log intensity of attacks on `country` in the week starting at
+/// `monday` (which must be a Monday; use `Date::week_start`).
+pub fn country_log_intensity(cal: &Calibration, country: Country, monday: Date) -> f64 {
+    let profile = cal.country(country);
+    let mut log_mu = profile.share.ln();
+
+    // Seasonal structure applies across the whole series.
+    let row = seasonal_row(monday);
+    for (j, &v) in row.iter().enumerate() {
+        log_mu += v * cal.global.seasonal[j];
+    }
+    log_mu += easter_dummy(monday, 7, 7) * cal.global.easter;
+
+    let weeks_since_window = monday.days_since(cal.window_start) as f64 / 7.0;
+    if weeks_since_window < 0.0 {
+        // Pre-window era: flat level, no trend (Figure 1's 2014–2016 look).
+        log_mu += cal.pre_window_log_level;
+    } else {
+        log_mu += cal.global.log_level;
+        log_mu += trend_contribution(cal, country, weeks_since_window);
+    }
+
+    // China's NTP-era hump (Table 3: CN at over half of world attacks in
+    // Feb-17). Modelled as a sharp-onset plateau (difference of
+    // logistics): the rise starts after the HackForums window closes so
+    // that the global intervention effect is not masked — in the paper's
+    // data the CN wave likewise postdates the HackForums drop.
+    if profile.hump_amplitude != 0.0 {
+        let w = monday.days_since(Date::new(2017, 2, 13)) as f64 / 7.0;
+        let rise = 1.0 / (1.0 + (-w / 1.5).exp());
+        let w_end = monday.days_since(Date::new(2017, 6, 5)) as f64 / 7.0;
+        let fall = 1.0 / (1.0 + (-w_end / 6.0).exp());
+        log_mu += profile.hump_amplitude * (rise - fall).max(0.0);
+    }
+
+    // The five significant interventions, per-country (Table 2).
+    for ic in &cal.interventions {
+        let effect = ic.effect_in(country);
+        if !effect.significant {
+            continue;
+        }
+        let event_date = events::event(ic.id).date;
+        let start = event_date.week_start().add_days(7 * effect.delay_weeks as i64);
+        let end = start.add_days(7 * effect.duration_weeks as i64);
+        if monday >= start && monday < end {
+            log_mu += effect.coef();
+        }
+    }
+
+    // Minor events leave a small one-week mark (China excepted).
+    if country != Country::Cn {
+        for ev in events::timeline() {
+            if cal.intervention(ev.id).is_some() || ev.kind == EventKind::Messaging {
+                continue;
+            }
+            let start = ev.date.week_start();
+            let end = start.add_days(7 * cal.minor_event_weeks as i64);
+            if monday >= start && monday < end {
+                log_mu += cal.minor_event_dip;
+            }
+        }
+    }
+
+    log_mu
+}
+
+/// Cumulative trend for `country` after `weeks` weeks in the modelling
+/// window, honouring the UK's NCA-campaign flattening (§4.1/Figure 5).
+fn trend_contribution(cal: &Calibration, country: Country, weeks: f64) -> f64 {
+    let profile = cal.country(country);
+    if country != Country::Uk {
+        return profile.weekly_trend * weeks;
+    }
+    let nca = events::event(EventId::NcaAds);
+    let nca_start_w = nca.date.week_start().days_since(cal.window_start) as f64 / 7.0;
+    let recovery_w = cal.nca_recovery.week_start().days_since(cal.window_start) as f64 / 7.0;
+    if weeks <= nca_start_w {
+        profile.weekly_trend * weeks
+    } else if weeks <= recovery_w {
+        profile.weekly_trend * nca_start_w + cal.nca_uk_trend * (weeks - nca_start_w)
+    } else {
+        profile.weekly_trend * nca_start_w
+            + cal.nca_uk_trend * (recovery_w - nca_start_w)
+            + profile.weekly_trend * (weeks - recovery_w)
+    }
+}
+
+/// Expected global (all-country) attack count for a week: Σ exp(log μ_c).
+pub fn global_intensity(cal: &Calibration, monday: Date) -> f64 {
+    Country::ALL
+        .iter()
+        .map(|&c| country_log_intensity(cal, c, monday).exp())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calibration {
+        Calibration::default()
+    }
+
+    #[test]
+    fn window_origin_level_matches_table1() {
+        // Summing country shares at t=0 should land near exp(10.289)
+        // (seasonality for June pushes it slightly down).
+        let c = cal();
+        let total = global_intensity(&c, Date::new(2016, 6, 6));
+        let expect = (10.289f64 + c.global.seasonal[4]).exp(); // June = seasonal_6
+        // CN hump tail adds a little.
+        assert!(
+            (total / expect - 1.0).abs() < 0.35,
+            "total={total} expect≈{expect}"
+        );
+    }
+
+    #[test]
+    fn trend_raises_intensity_over_window() {
+        let c = cal();
+        let early = country_log_intensity(&c, Country::Us, Date::new(2016, 6, 6));
+        let late = country_log_intensity(&c, Country::Us, Date::new(2018, 6, 4));
+        // ~104 weeks at 0.013/week ≈ +1.35, minus small seasonal diffs.
+        assert!((late - early - 1.35).abs() < 0.1, "delta={}", late - early);
+    }
+
+    #[test]
+    fn xmas2018_dips_us_but_not_fr() {
+        let c = cal();
+        let before = Date::new(2018, 12, 10);
+        let during = Date::new(2019, 1, 7);
+        let us_dip = country_log_intensity(&c, Country::Us, during)
+            - country_log_intensity(&c, Country::Us, before);
+        let fr_dip = country_log_intensity(&c, Country::Fr, during)
+            - country_log_intensity(&c, Country::Fr, before);
+        // US carries the −49% effect; FR only seasonal/trend drift.
+        assert!(us_dip < -0.5, "us_dip={us_dip}");
+        assert!(fr_dip > -0.1, "fr_dip={fr_dip}");
+    }
+
+    #[test]
+    fn nl_reprisal_spikes_during_webstresser() {
+        let c = cal();
+        let before = Date::new(2018, 4, 16);
+        let during = Date::new(2018, 4, 30);
+        let nl = country_log_intensity(&c, Country::Nl, during)
+            - country_log_intensity(&c, Country::Nl, before);
+        assert!(nl > 0.7, "nl={nl}"); // +146% ⇒ +0.90 log
+        // Overall (delayed 2 weeks) effect has not started for the US yet.
+        let us = country_log_intensity(&c, Country::Us, during)
+            - country_log_intensity(&c, Country::Us, before);
+        assert!(us.abs() < 0.1, "us={us}");
+        // Three weeks later the US dip is active.
+        let us_later = country_log_intensity(&c, Country::Us, Date::new(2018, 5, 14))
+            - country_log_intensity(&c, Country::Us, before);
+        assert!(us_later < -0.2, "us_later={us_later}");
+    }
+
+    #[test]
+    fn uk_flattens_during_nca_campaign() {
+        let c = cal();
+        // Slope over the campaign window ≈ 0; US keeps growing.
+        let uk_jan = country_log_intensity(&c, Country::Uk, Date::new(2018, 1, 8));
+        let uk_jun = country_log_intensity(&c, Country::Uk, Date::new(2018, 6, 4));
+        let us_jan = country_log_intensity(&c, Country::Us, Date::new(2018, 1, 8));
+        let us_jun = country_log_intensity(&c, Country::Us, Date::new(2018, 6, 4));
+        // Control for seasonality by comparing the UK-US difference drift.
+        let uk_drift = uk_jun - uk_jan;
+        let us_drift = us_jun - us_jan;
+        assert!(us_drift - uk_drift > 0.15, "uk={uk_drift} us={us_drift}");
+    }
+
+    #[test]
+    fn uk_growth_resumes_after_recovery() {
+        // After August 2018 the UK's drift matches the US's again
+        // (seasonality cancels in the UK−US contrast).
+        let c = cal();
+        let uk_drift = country_log_intensity(&c, Country::Uk, Date::new(2018, 10, 1))
+            - country_log_intensity(&c, Country::Uk, Date::new(2018, 8, 6));
+        let us_drift = country_log_intensity(&c, Country::Us, Date::new(2018, 10, 1))
+            - country_log_intensity(&c, Country::Us, Date::new(2018, 8, 6));
+        assert!((uk_drift - us_drift).abs() < 0.05, "uk={uk_drift} us={us_drift}");
+        // And the drift is positive once seasonals are removed: compare
+        // two weeks within the same month (same seasonal dummy).
+        let a = country_log_intensity(&c, Country::Uk, Date::new(2018, 10, 1));
+        let b = country_log_intensity(&c, Country::Uk, Date::new(2018, 10, 15));
+        assert!(b > a, "uk growth not resumed: {a} -> {b}");
+    }
+
+    #[test]
+    fn cn_hump_peaks_in_spring_2017() {
+        let c = cal();
+        let at_peak = country_log_intensity(&c, Country::Cn, Date::new(2017, 4, 3));
+        let before = country_log_intensity(&c, Country::Cn, Date::new(2016, 6, 6));
+        let after = country_log_intensity(&c, Country::Cn, Date::new(2018, 6, 4));
+        assert!(at_peak - before > 1.5, "rise={}", at_peak - before);
+        assert!(at_peak - after > 1.5, "fall={}", at_peak - after);
+    }
+
+    #[test]
+    fn cn_hump_spares_the_hackforums_window() {
+        // The hump must not mask the HackForums effect: its contribution
+        // inside the window (Oct 2016 – late Jan 2017) stays small.
+        let c = cal();
+        let in_window = country_log_intensity(&c, Country::Cn, Date::new(2017, 1, 9));
+        let base = country_log_intensity(&c, Country::Cn, Date::new(2016, 9, 5));
+        assert!(in_window - base < 0.3, "leak={}", in_window - base);
+    }
+
+    #[test]
+    fn cn_share_dominates_at_hump_peak() {
+        let c = cal();
+        let monday = Date::new(2017, 4, 3);
+        let cn = country_log_intensity(&c, Country::Cn, monday).exp();
+        let total = global_intensity(&c, monday);
+        let share = cn / total;
+        // The paper's Feb-17 CN share is 55%, but its Table 3 column sums
+        // to 108% (double counting); our single-assignment share peaks
+        // near 30% — EXPERIMENTS.md records the comparison.
+        assert!(share > 0.25 && share < 0.65, "share={share}");
+    }
+
+    #[test]
+    fn pre_window_is_flat() {
+        let c = cal();
+        let a = country_log_intensity(&c, Country::Us, Date::new(2014, 9, 1));
+        let b = country_log_intensity(&c, Country::Us, Date::new(2016, 3, 7));
+        // Only seasonal differences between two pre-window weeks.
+        assert!((a - b).abs() < 0.3, "a−b={}", a - b);
+    }
+
+    #[test]
+    fn minor_events_leave_small_dips() {
+        let c = cal();
+        // Operation Vivarium week (2015-08-28 → week of 08-24).
+        let dip_week = Date::new(2015, 8, 24);
+        let ref_week = Date::new(2015, 8, 10);
+        let delta = country_log_intensity(&c, Country::Us, dip_week)
+            - country_log_intensity(&c, Country::Us, ref_week);
+        assert!((delta - c.minor_event_dip).abs() < 1e-9, "delta={delta}");
+    }
+
+    #[test]
+    fn global_intensity_is_sum_of_countries() {
+        let c = cal();
+        let monday = Date::new(2018, 2, 5);
+        let total = global_intensity(&c, monday);
+        let manual: f64 = Country::ALL
+            .iter()
+            .map(|&cc| country_log_intensity(&c, cc, monday).exp())
+            .sum();
+        assert!((total - manual).abs() < 1e-9);
+    }
+}

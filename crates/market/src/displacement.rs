@@ -1,0 +1,183 @@
+//! Displacement analysis.
+//!
+//! §4.3: booter outages "often appear to be 'absorbed' by displacement to
+//! other booters ... so the overall attack numbers remain steady"; §6.5
+//! adds that the influx can overwhelm smaller providers ("ironically this
+//! can be seen as a 'denial of service'"). This module measures
+//! displacement in the simulated market: when a set of booters dies, how
+//! much of their former volume reappears at the survivors?
+
+use crate::market::WeekOutput;
+use std::collections::{HashMap, HashSet};
+
+/// Result of a displacement measurement around one death event.
+#[derive(Debug, Clone)]
+pub struct DisplacementMeasure {
+    /// Combined weekly volume of the dying booters before the event.
+    pub dead_volume_before: f64,
+    /// Combined weekly volume of the survivors before the event.
+    pub survivor_volume_before: f64,
+    /// Combined weekly volume of the survivors after the event.
+    pub survivor_volume_after: f64,
+    /// Total market volume before / after (demand may itself shift).
+    pub market_before: f64,
+    /// Total market volume after the event.
+    pub market_after: f64,
+}
+
+impl DisplacementMeasure {
+    /// Fraction of the dead booters' volume absorbed by survivors:
+    /// (survivor gain) / (dead volume), clamped to [0, ∞). 1.0 means the
+    /// paper's "absorbed by displacement"; ~0 means the demand vanished.
+    pub fn absorption_ratio(&self) -> f64 {
+        if self.dead_volume_before <= 0.0 {
+            return f64::NAN;
+        }
+        ((self.survivor_volume_after - self.survivor_volume_before)
+            / self.dead_volume_before)
+            .max(0.0)
+    }
+
+    /// Net market change across the event, as a fraction of the before
+    /// volume (negative = the intervention suppressed total demand).
+    pub fn market_change(&self) -> f64 {
+        if self.market_before <= 0.0 {
+            return f64::NAN;
+        }
+        self.market_after / self.market_before - 1.0
+    }
+}
+
+/// Average per-booter weekly volumes over a week range.
+fn volumes_over(
+    weeks: &[WeekOutput],
+    from_week: usize,
+    to_week: usize,
+) -> (HashMap<u32, f64>, f64) {
+    let mut by_booter: HashMap<u32, f64> = HashMap::new();
+    let mut n_weeks = 0usize;
+    for w in weeks.iter().filter(|w| w.week >= from_week && w.week < to_week) {
+        n_weeks += 1;
+        for (id, v) in &w.booter_attacks {
+            *by_booter.entry(*id).or_insert(0.0) += *v as f64;
+        }
+    }
+    if n_weeks == 0 {
+        return (by_booter, 0.0);
+    }
+    let total: f64 = by_booter.values().sum::<f64>() / n_weeks as f64;
+    for v in by_booter.values_mut() {
+        *v /= n_weeks as f64;
+    }
+    (by_booter, total)
+}
+
+/// Measure displacement around a death event at `event_week`: booters
+/// active in the `lookback`-week window before but absent in the
+/// `lookahead`-week window after are the "dead"; everyone else active
+/// after is a survivor.
+pub fn measure_displacement(
+    weeks: &[WeekOutput],
+    event_week: usize,
+    lookback: usize,
+    lookahead: usize,
+) -> DisplacementMeasure {
+    let (before, market_before) =
+        volumes_over(weeks, event_week.saturating_sub(lookback), event_week);
+    let (after, market_after) = volumes_over(weeks, event_week + 1, event_week + 1 + lookahead);
+
+    let after_ids: HashSet<u32> = after.keys().copied().collect();
+    let mut dead_volume_before = 0.0;
+    let mut survivor_volume_before = 0.0;
+    for (id, v) in &before {
+        if after_ids.contains(id) {
+            survivor_volume_before += v;
+        } else {
+            dead_volume_before += v;
+        }
+    }
+    let survivor_volume_after: f64 = after
+        .iter()
+        .filter(|(id, _)| before.contains_key(id))
+        .map(|(_, v)| v)
+        .sum();
+
+    DisplacementMeasure {
+        dead_volume_before,
+        survivor_volume_before,
+        survivor_volume_after,
+        market_before,
+        market_after,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::{MarketConfig, MarketSim};
+    use booters_timeseries::Date;
+
+    fn run() -> Vec<WeekOutput> {
+        MarketSim::new(MarketConfig {
+            scale: 0.02,
+            seed: 404,
+            ..MarketConfig::default()
+        })
+        .run()
+    }
+
+    #[test]
+    fn webstresser_volume_is_displaced() {
+        // The Webstresser takedown kills ~30% of market weight, but demand
+        // (per the paper's Table 2) only drops ~21% for 3 weeks —
+        // displacement routes the remainder to the survivors.
+        let weeks = run();
+        let event_week = weeks
+            .iter()
+            .find(|w| w.monday >= Date::new(2018, 4, 23))
+            .unwrap()
+            .week;
+        let m = measure_displacement(&weeks, event_week, 6, 6);
+        assert!(m.dead_volume_before > 0.0, "webstresser had volume");
+        let absorption = m.absorption_ratio();
+        assert!(
+            absorption > 0.3,
+            "survivors absorbed only {absorption:.2} of the dead volume"
+        );
+        // The market dip is far smaller than the dead share.
+        let dead_share = m.dead_volume_before / m.market_before;
+        assert!(dead_share > 0.2, "dead share {dead_share:.2}");
+        assert!(
+            m.market_change() > -dead_share,
+            "market fell {:.2} — more than the dead share, no displacement",
+            m.market_change()
+        );
+    }
+
+    #[test]
+    fn quiet_weeks_show_no_dead_volume() {
+        let weeks = run();
+        // A mid-2017 week with no shock: churn deaths are tiny.
+        let event_week = weeks
+            .iter()
+            .find(|w| w.monday >= Date::new(2017, 6, 5))
+            .unwrap()
+            .week;
+        let m = measure_displacement(&weeks, event_week, 4, 4);
+        let dead_share = m.dead_volume_before / m.market_before.max(1.0);
+        assert!(dead_share < 0.10, "dead share {dead_share:.3} in a quiet week");
+    }
+
+    #[test]
+    fn absorption_nan_when_nothing_died() {
+        let m = DisplacementMeasure {
+            dead_volume_before: 0.0,
+            survivor_volume_before: 10.0,
+            survivor_volume_after: 12.0,
+            market_before: 10.0,
+            market_after: 12.0,
+        };
+        assert!(m.absorption_ratio().is_nan());
+        assert!((m.market_change() - 0.2).abs() < 1e-12);
+    }
+}

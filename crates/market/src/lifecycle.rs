@@ -1,0 +1,460 @@
+//! Booter population dynamics — births, deaths, resurrections (Figure 8)
+//! and the structural shocks interventions apply to the market.
+//!
+//! §4.3: "Most weeks there is little change, with two exceptions" — the
+//! Webstresser takedown (a spike of deaths among small booters that had
+//! subcontracted to it) and Xmas2018 (which closed two of the three major
+//! providers, with the survivor ending up with ~60% of the market and one
+//! of the closed majors returning "under a similar name" in March).
+
+use crate::booter::{Booter, BooterState, SizeClass};
+use booters_netsim::UdpProtocol;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Weekly lifecycle tallies (one point of Figure 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleWeek {
+    /// Booters that stopped responding this week.
+    pub deaths: u32,
+    /// Previously dead booters running again.
+    pub resurrections: u32,
+    /// Newly discovered booters (bursty — discovery sweeps are aperiodic).
+    pub births: u32,
+}
+
+/// Population manager.
+#[derive(Debug)]
+pub struct Population {
+    booters: Vec<Booter>,
+    next_id: u32,
+    /// Weeks until the next discovery sweep.
+    weeks_to_sweep: u32,
+    /// Ids of the three pre-Xmas2018 majors, in descending weight order.
+    majors: [u32; 3],
+    /// Id of the major killed at Xmas2018 that resurrects in March 2019.
+    returning_major: u32,
+}
+
+/// Baseline churn parameters.
+const WEEKLY_DEATH_PROB_SMALL: f64 = 0.035;
+const WEEKLY_DEATH_PROB_MEDIUM: f64 = 0.015;
+const WEEKLY_RESURRECT_PROB: f64 = 0.12;
+
+impl Population {
+    /// Seed the market: three majors plus a bed of medium/small services.
+    pub fn new(rng: &mut StdRng) -> Population {
+        let mut booters = Vec::new();
+        let mut next_id = 0u32;
+        let add = |rng: &mut StdRng,
+                       booters: &mut Vec<Booter>,
+                       next_id: &mut u32,
+                       size: SizeClass,
+                       weight: f64,
+                       self_reports: bool|
+         -> u32 {
+            let id = *next_id;
+            *next_id += 1;
+            booters.push(Booter {
+                id,
+                size,
+                weight,
+                state: BooterState::Alive,
+                born_week: 0,
+                died_week: None,
+                self_reports,
+                true_total: 0,
+                counter_offset: if rng.gen::<f64>() < 0.03 { 150_000 } else { 0 },
+                rounds_to_1000: rng.gen::<f64>() < 0.02,
+                wipe_prob: if rng.gen::<f64>() < 0.1 { 0.01 } else { 0.0 },
+                // Honeypot avoidance (like vDOS' 'SUDP') is a niche,
+                // small-operator behaviour. Keeping large booters honest
+                // also keeps dataset coverage stable — a big avoider's
+                // noisy volume share would otherwise swing weekly coverage
+                // for every country at once, leaking phantom intervention
+                // effects into unaffected countries.
+                avoids_honeypots: size == SizeClass::Small && rng.gen::<f64>() < 0.10,
+                protocols: sample_portfolio(rng),
+            });
+            id
+        };
+
+        // Webstresser analogue: biggest booter, does not self-report.
+        let webstresser = add(rng, &mut booters, &mut next_id, SizeClass::Major, 0.30, false);
+        let m1 = add(rng, &mut booters, &mut next_id, SizeClass::Major, 0.22, true);
+        let m2 = add(rng, &mut booters, &mut next_id, SizeClass::Major, 0.18, true);
+        let m3 = add(rng, &mut booters, &mut next_id, SizeClass::Major, 0.13, true);
+        let _ = webstresser;
+        for _ in 0..12 {
+            let w = 0.015 + rng.gen::<f64>() * 0.02;
+            add(rng, &mut booters, &mut next_id, SizeClass::Medium, w, true);
+        }
+        for _ in 0..30 {
+            let w = 0.002 + rng.gen::<f64>() * 0.006;
+            add(rng, &mut booters, &mut next_id, SizeClass::Small, w, true);
+        }
+        Population {
+            booters,
+            next_id,
+            weeks_to_sweep: 6,
+            majors: [m1, m2, m3],
+            returning_major: m1,
+        }
+    }
+
+    /// All booters (any state).
+    pub fn booters(&self) -> &[Booter] {
+        &self.booters
+    }
+
+    /// Mutable access for the market allocator.
+    pub fn booters_mut(&mut self) -> &mut [Booter] {
+        &mut self.booters
+    }
+
+    /// Booter with id 0 is the Webstresser analogue.
+    pub fn webstresser_id(&self) -> u32 {
+        0
+    }
+
+    /// The three pre-Xmas majors (self-reporting).
+    pub fn major_ids(&self) -> [u32; 3] {
+        self.majors
+    }
+
+    /// Alive booters' total weight.
+    pub fn alive_weight(&self) -> f64 {
+        self.booters
+            .iter()
+            .filter(|b| b.is_alive())
+            .map(|b| b.weight)
+            .sum()
+    }
+
+    /// Number of alive booters.
+    pub fn alive_count(&self) -> usize {
+        self.booters.iter().filter(|b| b.is_alive()).count()
+    }
+
+    fn spawn(&mut self, rng: &mut StdRng, week: usize, size: SizeClass) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let weight = match size {
+            SizeClass::Major => 0.10,
+            SizeClass::Medium => 0.01 + rng.gen::<f64>() * 0.02,
+            SizeClass::Small => 0.002 + rng.gen::<f64>() * 0.005,
+        };
+        self.booters.push(Booter {
+            id,
+            size,
+            weight,
+            state: BooterState::Alive,
+            born_week: week,
+            died_week: None,
+            self_reports: true,
+            true_total: 0,
+            counter_offset: 0,
+            rounds_to_1000: false,
+            wipe_prob: if rng.gen::<f64>() < 0.1 { 0.01 } else { 0.0 },
+            avoids_honeypots: size == SizeClass::Small && rng.gen::<f64>() < 0.10,
+            protocols: sample_portfolio(rng),
+        });
+        id
+    }
+
+    fn kill_id(&mut self, id: u32, week: usize, permanent: bool) -> bool {
+        if let Some(b) = self.booters.iter_mut().find(|b| b.id == id) {
+            if b.is_alive() {
+                b.kill(week, permanent);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// One week of churn plus any intervention shocks. Returns the
+    /// lifecycle tallies for Figure 8.
+    pub fn step(
+        &mut self,
+        rng: &mut StdRng,
+        week: usize,
+        shock: Option<MarketShock>,
+    ) -> LifecycleWeek {
+        let mut tally = LifecycleWeek::default();
+
+        // Intervention shocks first.
+        match shock {
+            Some(MarketShock::WebstresserTakedown) => {
+                if self.kill_id(self.webstresser_id(), week, true) {
+                    tally.deaths += 1;
+                }
+                // Subcontracting small booters collapse with it.
+                let victims: Vec<u32> = self
+                    .booters
+                    .iter()
+                    .filter(|b| b.is_alive() && b.size == SizeClass::Small)
+                    .map(|b| b.id)
+                    .take(9)
+                    .collect();
+                for id in victims {
+                    if self.kill_id(id, week, false) {
+                        tally.deaths += 1;
+                    }
+                }
+            }
+            Some(MarketShock::Xmas2018) => {
+                // Two of the three majors go down, plus several others —
+                // the FBI action "immediately took seven booter services
+                // offline".
+                let [m1, m2, m3] = self.majors;
+                if self.kill_id(m1, week, false) {
+                    tally.deaths += 1;
+                }
+                if self.kill_id(m2, week, true) {
+                    tally.deaths += 1;
+                }
+                // Displacement bonus: the surviving major absorbs most of
+                // the dead majors' market (ends up ~60% of the market).
+                let absorbed: f64 = self
+                    .booters
+                    .iter()
+                    .filter(|b| b.id == m1 || b.id == m2)
+                    .map(|b| b.weight)
+                    .sum();
+                if let Some(surv) = self.booters.iter_mut().find(|b| b.id == m3) {
+                    surv.weight += absorbed * 1.6;
+                }
+                let victims: Vec<u32> = self
+                    .booters
+                    .iter()
+                    .filter(|b| b.is_alive() && b.size != SizeClass::Major)
+                    .map(|b| b.id)
+                    .take(5)
+                    .collect();
+                for id in victims {
+                    if self.kill_id(id, week, false) {
+                        tally.deaths += 1;
+                    }
+                }
+            }
+            Some(MarketShock::ReturnOfTheMajor) => {
+                let id = self.returning_major;
+                if let Some(b) = self.booters.iter_mut().find(|b| b.id == id) {
+                    if b.state == BooterState::Dead {
+                        b.resurrect();
+                        tally.resurrections += 1;
+                    }
+                }
+            }
+            None => {}
+        }
+
+        // Baseline churn.
+        let ids: Vec<(u32, SizeClass, BooterState, Option<usize>)> = self
+            .booters
+            .iter()
+            .map(|b| (b.id, b.size, b.state, b.died_week))
+            .collect();
+        for (id, size, state, died) in ids {
+            match state {
+                BooterState::Alive => {
+                    let p = match size {
+                        SizeClass::Major => 0.0,
+                        SizeClass::Medium => WEEKLY_DEATH_PROB_MEDIUM,
+                        SizeClass::Small => WEEKLY_DEATH_PROB_SMALL,
+                    };
+                    if rng.gen::<f64>() < p && self.kill_id(id, week, false) {
+                        tally.deaths += 1;
+                    }
+                }
+                BooterState::Dead => {
+                    // Resurrection chance decays with time dead.
+                    let age = week.saturating_sub(died.unwrap_or(week));
+                    let p = WEEKLY_RESURRECT_PROB * (0.8f64).powi(age as i32);
+                    if rng.gen::<f64>() < p {
+                        if let Some(b) = self.booters.iter_mut().find(|b| b.id == id) {
+                            b.resurrect();
+                            tally.resurrections += 1;
+                        }
+                    }
+                }
+                BooterState::Retired => {}
+            }
+        }
+
+        // Discovery sweeps: bursty births (a data-collection artifact the
+        // paper warns about — "should be viewed cautiously").
+        if self.weeks_to_sweep == 0 {
+            let births = rng.gen_range(2..=9);
+            for _ in 0..births {
+                let size = if rng.gen::<f64>() < 0.3 {
+                    SizeClass::Medium
+                } else {
+                    SizeClass::Small
+                };
+                self.spawn(rng, week, size);
+            }
+            tally.births += births;
+            self.weeks_to_sweep = rng.gen_range(4..=10);
+        } else {
+            self.weeks_to_sweep -= 1;
+        }
+
+        tally
+    }
+}
+
+/// Structural shocks applied by interventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarketShock {
+    /// 2018-04-24: Webstresser and its subcontractors go down.
+    WebstresserTakedown,
+    /// 2018-12-19: the FBI action closes two majors and several others.
+    Xmas2018,
+    /// March 2019: a closed major returns under a similar name.
+    ReturnOfTheMajor,
+}
+
+/// Draw a 2–4 protocol portfolio for a booter.
+fn sample_portfolio(rng: &mut StdRng) -> Vec<UdpProtocol> {
+    let n = rng.gen_range(2..=4usize);
+    let mut portfolio = Vec::with_capacity(n);
+    while portfolio.len() < n {
+        let p = UdpProtocol::ALL[rng.gen_range(0..UdpProtocol::ALL.len())];
+        if !portfolio.contains(&p) {
+            portfolio.push(p);
+        }
+    }
+    portfolio
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xB007)
+    }
+
+    #[test]
+    fn initial_population_shape() {
+        let mut r = rng();
+        let p = Population::new(&mut r);
+        assert!(p.alive_count() >= 40);
+        let majors = p
+            .booters()
+            .iter()
+            .filter(|b| b.size == SizeClass::Major)
+            .count();
+        assert_eq!(majors, 4); // Webstresser + three self-reporting majors
+        // Webstresser does not self-report.
+        let w = p.booters().iter().find(|b| b.id == p.webstresser_id()).unwrap();
+        assert!(!w.self_reports);
+        assert!((p.alive_weight() - 1.0).abs() < 0.6); // ~1, not normalised
+    }
+
+    #[test]
+    fn webstresser_shock_kills_it_and_small_booters() {
+        let mut r = rng();
+        let mut p = Population::new(&mut r);
+        let before = p.alive_count();
+        let t = p.step(&mut r, 10, Some(MarketShock::WebstresserTakedown));
+        assert!(t.deaths >= 10, "deaths={}", t.deaths);
+        assert!(p.alive_count() < before);
+        let w = p.booters().iter().find(|b| b.id == p.webstresser_id()).unwrap();
+        assert_eq!(w.state, BooterState::Retired);
+    }
+
+    #[test]
+    fn xmas_shock_restructures_market() {
+        let mut r = rng();
+        let mut p = Population::new(&mut r);
+        let [m1, m2, m3] = p.major_ids();
+        let t = p.step(&mut r, 20, Some(MarketShock::Xmas2018));
+        assert!(t.deaths >= 7, "deaths={}", t.deaths);
+        let get = |id| p.booters().iter().find(|b| b.id == id).unwrap().clone();
+        assert_ne!(get(m1).state, BooterState::Alive);
+        assert_eq!(get(m2).state, BooterState::Retired);
+        assert!(get(m3).is_alive());
+        // Survivor's share of the alive self-reporting market ≈ 60%.
+        let alive_rep: f64 = p
+            .booters()
+            .iter()
+            .filter(|b| b.is_alive() && b.self_reports)
+            .map(|b| b.weight)
+            .sum();
+        let share = get(m3).weight / alive_rep;
+        assert!(share > 0.45 && share < 0.75, "share={share}");
+    }
+
+    #[test]
+    fn returning_major_resurrects_once() {
+        let mut r = rng();
+        let mut p = Population::new(&mut r);
+        let [m1, _, _] = p.major_ids();
+        p.step(&mut r, 20, Some(MarketShock::Xmas2018));
+        let t = p.step(&mut r, 32, Some(MarketShock::ReturnOfTheMajor));
+        assert!(t.resurrections >= 1);
+        let b = p.booters().iter().find(|b| b.id == m1).unwrap();
+        assert!(b.is_alive());
+    }
+
+    #[test]
+    fn churn_is_quiet_most_weeks() {
+        let mut r = rng();
+        let mut p = Population::new(&mut r);
+        let mut total_deaths = 0;
+        let mut quiet_weeks = 0;
+        for w in 0..40 {
+            let t = p.step(&mut r, w, None);
+            total_deaths += t.deaths;
+            if t.deaths <= 2 {
+                quiet_weeks += 1;
+            }
+        }
+        assert!(quiet_weeks >= 30, "quiet={quiet_weeks}");
+        assert!(total_deaths < 70);
+    }
+
+    #[test]
+    fn births_arrive_in_bursts() {
+        let mut r = rng();
+        let mut p = Population::new(&mut r);
+        let mut birth_weeks = 0;
+        let mut total_births = 0;
+        for w in 0..50 {
+            let t = p.step(&mut r, w, None);
+            if t.births > 0 {
+                birth_weeks += 1;
+                total_births += t.births;
+            }
+        }
+        assert!((4..=13).contains(&birth_weeks), "weeks={birth_weeks}");
+        assert!(total_births >= 10);
+    }
+
+    #[test]
+    fn resurrections_happen_after_churn_deaths() {
+        let mut r = rng();
+        let mut p = Population::new(&mut r);
+        let mut res = 0;
+        for w in 0..80 {
+            let t = p.step(&mut r, w, None);
+            res += t.resurrections;
+        }
+        assert!(res > 0, "no resurrections in 80 weeks");
+    }
+
+    #[test]
+    fn portfolios_are_distinct_and_bounded() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let port = sample_portfolio(&mut r);
+            assert!(port.len() >= 2 && port.len() <= 4);
+            let mut dedup = port.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), port.len());
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Protocol popularity over time — the generative model behind Figure 6.
+//!
+//! §4.2: protocols "go in and out of vogue"; the 2017–2018 growth "appears
+//! to be largely driven by an increase in attacks using the LDAP protocol";
+//! China's LDAP rise "takes place six months later ... largely replacing
+//! NTP attacks"; attacks against China avoid DNS (the Great Firewall
+//! blocks DNS traffic); "Attacks targeting the UK appear to be almost
+//! entirely LDAP since mid-2017". Intervention drops concentrate in the
+//! protocols of the booters affected: HackForums → CHARGEN/NTP,
+//! Webstresser → DNS (plus a small LDAP drop), Xmas2018 → LDAP and DNS.
+
+use crate::calibration::Calibration;
+use crate::events::{self, EventId};
+use booters_netsim::{Country, UdpProtocol};
+use booters_timeseries::Date;
+
+/// Logistic curve in weeks: 0 → 1 with midpoint `mid` and scale `scale`.
+fn logistic(weeks: f64, mid: f64, scale: f64) -> f64 {
+    1.0 / (1.0 + (-(weeks - mid) / scale).exp())
+}
+
+/// Unnormalised base popularity of a protocol at `monday` for attacks on
+/// `country`.
+fn base_weight(protocol: UdpProtocol, country: Country, monday: Date) -> f64 {
+    // Weeks since the start of 2017, the LDAP inflection era.
+    let w = monday.days_since(Date::new(2017, 1, 2)) as f64 / 7.0;
+    let cn = country == Country::Cn;
+    let uk = country == Country::Uk;
+    match protocol {
+        UdpProtocol::Ldap => {
+            // Rise from ~0 to dominance across 2017–2018; CN six months
+            // later; UK converges to almost-entirely-LDAP.
+            let mid = if cn { 52.0 } else { 26.0 };
+            let ceiling = if uk { 1.6 } else { 0.9 };
+            0.02 + ceiling * logistic(w, mid, 10.0)
+        }
+        UdpProtocol::Ntp => {
+            // Strong early, fading as LDAP replaces it (fastest in CN).
+            let floor = if cn { 0.25 } else { 0.18 };
+            floor + 0.25 * (1.0 - logistic(w, 20.0, 12.0))
+        }
+        UdpProtocol::Chargen => 0.04 + 0.22 * (1.0 - logistic(w, 6.0, 10.0)),
+        UdpProtocol::Dns => {
+            if cn {
+                0.0 // Great Firewall blocks DNS
+            } else {
+                0.22
+            }
+        }
+        UdpProtocol::Ssdp => {
+            if cn {
+                0.30
+            } else {
+                0.12
+            }
+        }
+        UdpProtocol::Portmap => {
+            if country == Country::Us {
+                0.10
+            } else if cn {
+                0.02
+            } else {
+                0.06
+            }
+        }
+        UdpProtocol::Qotd => 0.015 + 0.02 * (1.0 - logistic(w, -60.0, 10.0)),
+        UdpProtocol::Time => 0.01,
+        UdpProtocol::Mdns => 0.02,
+        UdpProtocol::Mssql => 0.025,
+    }
+}
+
+/// Multiplicative dip applied to a protocol during an intervention window —
+/// the §4.2 observation that post-intervention drops are protocol-specific.
+fn intervention_dip(cal: &Calibration, protocol: UdpProtocol, monday: Date) -> f64 {
+    let mut dip = 1.0;
+    let in_window = |id: EventId, extra_weeks: i64| -> bool {
+        if let Some(ic) = cal.intervention(id) {
+            let date = events::event(id).date.week_start();
+            let start = date.add_days(7 * ic.overall.delay_weeks as i64);
+            let end = start.add_days(7 * (ic.overall.duration_weeks as i64 + extra_weeks));
+            monday >= start && monday < end
+        } else {
+            false
+        }
+    };
+    if in_window(EventId::HackForumsClosure, 0) {
+        match protocol {
+            UdpProtocol::Chargen => dip *= 0.35,
+            UdpProtocol::Ntp => dip *= 0.55,
+            _ => {}
+        }
+    }
+    if in_window(EventId::WebstresserTakedown, 0) {
+        match protocol {
+            UdpProtocol::Dns => dip *= 0.45,
+            UdpProtocol::Ldap => dip *= 0.90,
+            _ => {}
+        }
+    }
+    if in_window(EventId::Xmas2018, 0) {
+        match protocol {
+            UdpProtocol::Ldap => dip *= 0.55,
+            UdpProtocol::Dns => dip *= 0.80,
+            _ => {}
+        }
+    }
+    dip
+}
+
+/// Normalised protocol weights for attacks on `country` in the week of
+/// `monday`. Sums to 1.
+pub fn protocol_weights(cal: &Calibration, country: Country, monday: Date) -> [f64; 10] {
+    let mut w = [0.0; 10];
+    for (i, &p) in UdpProtocol::ALL.iter().enumerate() {
+        w[i] = base_weight(p, country, monday) * intervention_dip(cal, p, monday);
+    }
+    let total: f64 = w.iter().sum();
+    if total > 0.0 {
+        for v in &mut w {
+            *v /= total;
+        }
+    }
+    w
+}
+
+/// Weight of one protocol (convenience accessor).
+pub fn protocol_weight(
+    cal: &Calibration,
+    country: Country,
+    monday: Date,
+    protocol: UdpProtocol,
+) -> f64 {
+    protocol_weights(cal, country, monday)[protocol.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calibration {
+        Calibration::default()
+    }
+
+    #[test]
+    fn weights_normalise() {
+        let c = cal();
+        for &(y, m, d) in &[(2014, 9, 1), (2016, 6, 6), (2017, 8, 7), (2019, 1, 7)] {
+            for &country in &[Country::Us, Country::Cn, Country::Uk] {
+                let w = protocol_weights(&c, country, Date::new(y, m, d));
+                let total: f64 = w.iter().sum();
+                assert!((total - 1.0).abs() < 1e-12, "{y}-{m} {country}");
+                assert!(w.iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn ldap_rises_across_2017_2018() {
+        let c = cal();
+        let early = protocol_weight(&c, Country::Us, Date::new(2016, 6, 6), UdpProtocol::Ldap);
+        let late = protocol_weight(&c, Country::Us, Date::new(2018, 10, 1), UdpProtocol::Ldap);
+        assert!(early < 0.1, "early={early}");
+        assert!(late > 0.35, "late={late}");
+    }
+
+    #[test]
+    fn cn_ldap_rise_lags_six_months() {
+        let c = cal();
+        let date = Date::new(2017, 7, 3);
+        let us = protocol_weight(&c, Country::Us, date, UdpProtocol::Ldap);
+        let cn = protocol_weight(&c, Country::Cn, date, UdpProtocol::Ldap);
+        assert!(us > 2.0 * cn, "us={us} cn={cn}");
+        // By end-2018 CN has caught up substantially.
+        let cn_late = protocol_weight(&c, Country::Cn, Date::new(2018, 12, 3), UdpProtocol::Ldap);
+        assert!(cn_late > 0.25, "cn_late={cn_late}");
+    }
+
+    #[test]
+    fn cn_never_sees_dns() {
+        let c = cal();
+        for &(y, m) in &[(2015, 1), (2017, 6), (2019, 1)] {
+            let w = protocol_weight(&c, Country::Cn, Date::new(y, m, 6), UdpProtocol::Dns);
+            assert_eq!(w, 0.0);
+        }
+    }
+
+    #[test]
+    fn uk_is_mostly_ldap_by_mid_2018() {
+        let c = cal();
+        let w = protocol_weight(&c, Country::Uk, Date::new(2018, 7, 2), UdpProtocol::Ldap);
+        assert!(w > 0.55, "uk ldap={w}");
+    }
+
+    #[test]
+    fn chargen_era_fades() {
+        let c = cal();
+        let early = protocol_weight(&c, Country::Us, Date::new(2014, 9, 1), UdpProtocol::Chargen);
+        let late = protocol_weight(&c, Country::Us, Date::new(2018, 9, 3), UdpProtocol::Chargen);
+        assert!(early > 3.0 * late, "early={early} late={late}");
+    }
+
+    #[test]
+    fn hackforums_window_dips_chargen_and_ntp() {
+        let c = cal();
+        let before = Date::new(2016, 10, 17);
+        let during = Date::new(2016, 11, 14);
+        let ch_b = protocol_weight(&c, Country::Us, before, UdpProtocol::Chargen);
+        let ch_d = protocol_weight(&c, Country::Us, during, UdpProtocol::Chargen);
+        assert!(ch_d < 0.6 * ch_b, "before={ch_b} during={ch_d}");
+    }
+
+    #[test]
+    fn xmas_window_dips_ldap_share() {
+        let c = cal();
+        let before = Date::new(2018, 12, 10);
+        let during = Date::new(2019, 1, 14);
+        let b = protocol_weight(&c, Country::Us, before, UdpProtocol::Ldap);
+        let d = protocol_weight(&c, Country::Us, during, UdpProtocol::Ldap);
+        assert!(d < b, "before={b} during={d}");
+    }
+
+    #[test]
+    fn webstresser_window_dips_dns() {
+        let c = cal();
+        let before = Date::new(2018, 4, 23);
+        let during = Date::new(2018, 5, 14); // delay 2wk then 3wk window
+        let b = protocol_weight(&c, Country::Us, before, UdpProtocol::Dns);
+        let d = protocol_weight(&c, Country::Us, during, UdpProtocol::Dns);
+        assert!(d < 0.7 * b, "before={b} during={d}");
+    }
+}

@@ -1,0 +1,223 @@
+//! Victim address model: IPv4 addresses carved into per-country blocks.
+//!
+//! The paper attributes attacks to the "country of victim" (Table 3,
+//! Figure 3) via IP geolocation. We reproduce the mechanism with a
+//! synthetic address plan: each simulated country owns a set of /8-style
+//! blocks; victim addresses are drawn inside the blocks and geolocated by
+//! reverse lookup. The eight headline countries of the paper plus a
+//! rest-of-world bucket are modelled.
+
+use rand::Rng;
+use std::fmt;
+
+/// Countries tracked by the analysis (the paper's Table 2/3 set, plus
+/// the aggregated rest of the world).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Country {
+    /// United States.
+    Us,
+    /// United Kingdom.
+    Uk,
+    /// France.
+    Fr,
+    /// Germany.
+    De,
+    /// China.
+    Cn,
+    /// Poland.
+    Pl,
+    /// Russia.
+    Ru,
+    /// Netherlands.
+    Nl,
+    /// Australia.
+    Au,
+    /// Canada.
+    Ca,
+    /// Saudi Arabia.
+    Sa,
+    /// Everything else.
+    RestOfWorld,
+}
+
+impl Country {
+    /// All modelled countries (ROW last).
+    pub const ALL: [Country; 12] = [
+        Country::Us,
+        Country::Uk,
+        Country::Fr,
+        Country::De,
+        Country::Cn,
+        Country::Pl,
+        Country::Ru,
+        Country::Nl,
+        Country::Au,
+        Country::Ca,
+        Country::Sa,
+        Country::RestOfWorld,
+    ];
+
+    /// ISO-style label used in tables and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Country::Us => "US",
+            Country::Uk => "UK",
+            Country::Fr => "FR",
+            Country::De => "DE",
+            Country::Cn => "CN",
+            Country::Pl => "PL",
+            Country::Ru => "RU",
+            Country::Nl => "NL",
+            Country::Au => "AU",
+            Country::Ca => "CA",
+            Country::Sa => "SA",
+            Country::RestOfWorld => "ROW",
+        }
+    }
+
+    /// Parse a label.
+    pub fn from_label(label: &str) -> Option<Country> {
+        Country::ALL.iter().copied().find(|c| c.label() == label)
+    }
+
+    /// The synthetic /8 blocks assigned to this country. Blocks are
+    /// disjoint so geolocation is unambiguous.
+    pub fn blocks(&self) -> &'static [u8] {
+        match self {
+            Country::Us => &[3, 4, 6, 7, 8, 9, 11, 12],
+            Country::Uk => &[25, 51],
+            Country::Fr => &[80, 90],
+            Country::De => &[53, 84],
+            Country::Cn => &[36, 39, 42],
+            Country::Pl => &[83],
+            Country::Ru => &[95, 178],
+            Country::Nl => &[145],
+            Country::Au => &[101],
+            Country::Ca => &[99],
+            Country::Sa => &[188],
+            Country::RestOfWorld => &[150, 160, 170, 190, 200],
+        }
+    }
+
+    /// Index within [`Country::ALL`].
+    pub fn index(&self) -> usize {
+        Country::ALL.iter().position(|c| c == self).expect("country in ALL")
+    }
+}
+
+impl fmt::Display for Country {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A victim IPv4 address in the synthetic plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VictimAddr(pub u32);
+
+impl VictimAddr {
+    /// Build from octets.
+    pub fn from_octets(a: u8, b: u8, c: u8, d: u8) -> VictimAddr {
+        VictimAddr(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// Leading octet (the /8 block).
+    pub fn block(&self) -> u8 {
+        (self.0 >> 24) as u8
+    }
+
+    /// The /24 prefix, used by the paper's flow grouping ("flows of packets
+    /// to the same victim IP or prefix").
+    pub fn prefix24(&self) -> u32 {
+        self.0 >> 8
+    }
+
+    /// Geolocate: which country owns this address' /8 block.
+    pub fn country(&self) -> Country {
+        let b = self.block();
+        for c in Country::ALL {
+            if c.blocks().contains(&b) {
+                return c;
+            }
+        }
+        Country::RestOfWorld
+    }
+
+    /// Draw a random victim address inside `country`.
+    pub fn sample_in<R: Rng + ?Sized>(country: Country, rng: &mut R) -> VictimAddr {
+        let blocks = country.blocks();
+        let block = blocks[rng.gen_range(0..blocks.len())];
+        let rest: u32 = rng.gen_range(0..1 << 24);
+        VictimAddr(((block as u32) << 24) | rest)
+    }
+}
+
+impl fmt::Display for VictimAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.0.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blocks_are_disjoint() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Country::ALL {
+            for &b in c.blocks() {
+                assert!(seen.insert(b), "block {b} assigned twice ({c})");
+            }
+        }
+    }
+
+    #[test]
+    fn geolocation_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for c in Country::ALL {
+            for _ in 0..50 {
+                let a = VictimAddr::sample_in(c, &mut rng);
+                assert_eq!(a.country(), c, "addr {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn unassigned_block_is_rest_of_world() {
+        let a = VictimAddr::from_octets(222, 1, 2, 3);
+        assert_eq!(a.country(), Country::RestOfWorld);
+    }
+
+    #[test]
+    fn prefix24_groups_neighbours() {
+        let a = VictimAddr::from_octets(25, 1, 2, 3);
+        let b = VictimAddr::from_octets(25, 1, 2, 200);
+        let c = VictimAddr::from_octets(25, 1, 3, 3);
+        assert_eq!(a.prefix24(), b.prefix24());
+        assert_ne!(a.prefix24(), c.prefix24());
+    }
+
+    #[test]
+    fn display_formats_dotted_quad() {
+        assert_eq!(VictimAddr::from_octets(25, 0, 255, 1).to_string(), "25.0.255.1");
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for c in Country::ALL {
+            assert_eq!(Country::from_label(c.label()), Some(c));
+        }
+        assert!(Country::from_label("XX").is_none());
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, c) in Country::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-protocol coverage estimation.
+//!
+//! Footnote 1 of the paper estimates what fraction of each booter's logged
+//! attacks appear in the honeypot dataset (97% for LDAP/NTP/PORTMAP, 9%
+//! for vDOS' honeypot-avoiding 'SUDP', ...). Given ground-truth commands
+//! and the engine's observation decisions we can compute exactly the same
+//! statistic for the simulator.
+
+use crate::engine::{AttackCommand, Engine};
+use crate::protocol::UdpProtocol;
+use std::collections::HashMap;
+
+/// Coverage of one protocol: observed / commanded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolCoverage {
+    /// Attacks commanded via this protocol.
+    pub commanded: u64,
+    /// Attacks the sensors would record.
+    pub observed: u64,
+}
+
+impl ProtocolCoverage {
+    /// Observed fraction in [0, 1]; 0 when nothing was commanded.
+    pub fn fraction(&self) -> f64 {
+        if self.commanded == 0 {
+            return 0.0;
+        }
+        self.observed as f64 / self.commanded as f64
+    }
+}
+
+/// A full coverage report across protocols.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageReport {
+    per_protocol: HashMap<UdpProtocol, ProtocolCoverage>,
+}
+
+impl CoverageReport {
+    /// Run every command through the engine's observation decision and
+    /// tally coverage per protocol.
+    pub fn from_commands(engine: &mut Engine, commands: &[AttackCommand]) -> CoverageReport {
+        let mut per_protocol: HashMap<UdpProtocol, ProtocolCoverage> = HashMap::new();
+        for cmd in commands {
+            let entry = per_protocol
+                .entry(cmd.protocol)
+                .or_insert(ProtocolCoverage {
+                    commanded: 0,
+                    observed: 0,
+                });
+            entry.commanded += 1;
+            if engine.would_observe(cmd) {
+                entry.observed += 1;
+            }
+        }
+        CoverageReport { per_protocol }
+    }
+
+    /// Coverage for one protocol.
+    pub fn protocol(&self, p: UdpProtocol) -> Option<ProtocolCoverage> {
+        self.per_protocol.get(&p).copied()
+    }
+
+    /// Overall coverage across all protocols.
+    pub fn overall(&self) -> ProtocolCoverage {
+        let mut total = ProtocolCoverage {
+            commanded: 0,
+            observed: 0,
+        };
+        for c in self.per_protocol.values() {
+            total.commanded += c.commanded;
+            total.observed += c.observed;
+        }
+        total
+    }
+
+    /// Render as the footnote-1-style report.
+    pub fn render(&self) -> String {
+        let mut protos: Vec<_> = self.per_protocol.iter().collect();
+        protos.sort_by_key(|(p, _)| p.index());
+        let mut out = String::from("protocol   observed/commanded  coverage\n");
+        for (p, c) in protos {
+            out.push_str(&format!(
+                "{:<10} {:>9}/{:<9} {:>7.1}%\n",
+                p.label(),
+                c.observed,
+                c.commanded,
+                100.0 * c.fraction()
+            ));
+        }
+        let o = self.overall();
+        out.push_str(&format!(
+            "{:<10} {:>9}/{:<9} {:>7.1}%\n",
+            "TOTAL",
+            o.observed,
+            o.commanded,
+            100.0 * o.fraction()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::VictimAddr;
+    use crate::engine::EngineConfig;
+
+    fn commands(protocol: UdpProtocol, n: usize, avoids: bool, booter0: u32) -> Vec<AttackCommand> {
+        (0..n)
+            .map(|i| AttackCommand {
+                time: i as u64 * 700_000,
+                victim: VictimAddr::from_octets(25, 1, (i % 250) as u8, 1),
+                protocol,
+                duration_secs: 300,
+                packets_per_second: 50_000,
+                booter: booter0 + (i % 10) as u32,
+                avoids_honeypots: avoids,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn honest_booters_have_high_coverage() {
+        let mut e = Engine::new(EngineConfig::default());
+        let cmds = commands(UdpProtocol::Ldap, 100, false, 0);
+        let report = CoverageReport::from_commands(&mut e, &cmds);
+        let c = report.protocol(UdpProtocol::Ldap).unwrap();
+        assert!(c.fraction() > 0.9, "coverage={}", c.fraction());
+    }
+
+    #[test]
+    fn avoiding_booters_have_low_coverage() {
+        let mut e = Engine::new(EngineConfig::default());
+        let cmds = commands(UdpProtocol::Dns, 200, true, 100);
+        let report = CoverageReport::from_commands(&mut e, &cmds);
+        let c = report.protocol(UdpProtocol::Dns).unwrap();
+        assert!(c.fraction() < 0.9, "coverage={}", c.fraction());
+    }
+
+    #[test]
+    fn overall_pools_protocols() {
+        let mut e = Engine::new(EngineConfig::default());
+        let mut cmds = commands(UdpProtocol::Ntp, 50, false, 0);
+        cmds.extend(commands(UdpProtocol::Ssdp, 50, false, 50));
+        let report = CoverageReport::from_commands(&mut e, &cmds);
+        let o = report.overall();
+        assert_eq!(o.commanded, 100);
+        assert!(o.observed > 80);
+    }
+
+    #[test]
+    fn render_includes_total_row() {
+        let mut e = Engine::new(EngineConfig::default());
+        let cmds = commands(UdpProtocol::Qotd, 10, false, 0);
+        let report = CoverageReport::from_commands(&mut e, &cmds);
+        let s = report.render();
+        assert!(s.contains("QOTD"));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn empty_report_overall_is_zero() {
+        let r = CoverageReport::default();
+        assert_eq!(r.overall().fraction(), 0.0);
+        assert!(r.protocol(UdpProtocol::Dns).is_none());
+    }
+}

@@ -1,0 +1,403 @@
+//! The attack engine: turns booter attack commands into honeypot sensor
+//! observations.
+//!
+//! A booter attack on `victim` via `protocol` sprays spoofed requests over
+//! the booter's reflector list. Because hopscotch sensors answer booter
+//! scanners, honeypots sit inside those lists, so each attack delivers a
+//! share of its packets to sensors — that share is what the dataset sees.
+//!
+//! The engine offers two fidelities:
+//!
+//! * [`Engine::simulate_attack_packets`] — full packet-level generation:
+//!   every sensor hit is logged as a [`SensorPacket`] and pushed through
+//!   the [`SensorFleet`] rate-limit/blocklist machinery. Used by the
+//!   measurement-pipeline tests, examples and benches.
+//! * [`Engine::would_observe`] — the aggregate fast path used for the
+//!   five-year scenario: decides whether the command would be classified
+//!   as an attack by the paper's pipeline (≥1 honeypot in the booter's
+//!   list and >5 packets landing on a single sensor). A property test
+//!   asserts the two paths agree.
+
+use crate::addr::VictimAddr;
+use crate::packet::SensorPacket;
+use crate::protocol::UdpProtocol;
+use crate::attribution::BooterFingerprint;
+use crate::reflector::{SensorConfig, SensorFleet};
+use crate::scanner::{run_scan, ReflectorList, ScannerKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One attack ordered from a booter (produced by `booters-market`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackCommand {
+    /// Start time, seconds since scenario start.
+    pub time: u64,
+    /// Victim address.
+    pub victim: VictimAddr,
+    /// Reflection protocol used.
+    pub protocol: UdpProtocol,
+    /// Attack duration in seconds (paper: "over 50% of attacks were less
+    /// than 5 minutes").
+    pub duration_secs: u32,
+    /// Spoofed requests per second across the whole reflector list.
+    pub packets_per_second: u32,
+    /// Identifier of the booter running the attack.
+    pub booter: u32,
+    /// True for booters that filter honeypots out of their lists
+    /// ("perhaps choose not to reflect packets off the honeypots" §4.2) —
+    /// this is what produces low-coverage methods like vDOS' 'SUDP'.
+    pub avoids_honeypots: bool,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Honeypot fleet configuration.
+    pub sensors: SensorConfig,
+    /// Scan effort booters put into reflector discovery (0, 1].
+    pub scan_effort: f64,
+    /// How often booters rebuild their reflector lists, in seconds.
+    pub rescan_interval_secs: u64,
+    /// Cap on logged packets per sensor per attack (bounds memory; the
+    /// classifier only needs ">5").
+    pub packet_log_cap: u32,
+    /// Probability a honeypot survives in the list of an avoiding booter.
+    pub avoidance_leak: f64,
+    /// Working-set size: reflectors a booter actually sprays per attack.
+    /// Honeypots are preferentially retained (they answer reliably — by
+    /// design, "so that they use the honeypots"), real reflectors fill the
+    /// remainder.
+    pub working_set: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            sensors: SensorConfig::default(),
+            scan_effort: 0.4,
+            rescan_interval_secs: 7 * 86_400,
+            packet_log_cap: 24,
+            avoidance_leak: 0.09, // vDOS 'SUDP' coverage was 9%
+            working_set: 500,
+            seed: 0xB00733,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ListState {
+    list: ReflectorList,
+    refreshed_at: u64,
+}
+
+/// The attack engine.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    fleet: SensorFleet,
+    rng: StdRng,
+    lists: HashMap<(u32, UdpProtocol), ListState>,
+}
+
+impl Engine {
+    /// Create an engine.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            fleet: SensorFleet::new(config.sensors),
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            lists: HashMap::new(),
+        }
+    }
+
+    /// Borrow the honeypot fleet (reflect/absorb statistics).
+    pub fn fleet(&self) -> &SensorFleet {
+        &self.fleet
+    }
+
+    /// The booter's current reflector list for a protocol, rescanning if
+    /// stale. Avoiding booters filter honeypots down to the leak rate.
+    fn list_for(&mut self, booter: u32, protocol: UdpProtocol, now: u64, avoids: bool) -> &ListState {
+        let key = (booter, protocol);
+        let stale = match self.lists.get(&key) {
+            Some(st) => now.saturating_sub(st.refreshed_at) >= self.config.rescan_interval_secs,
+            None => true,
+        };
+        if stale {
+            let mut list = run_scan(
+                protocol,
+                ScannerKind::Booter,
+                self.config.scan_effort,
+                self.fleet.sensor_count(),
+                &mut self.rng,
+            );
+            if avoids {
+                // Avoiding booters fingerprint the fleet: with probability
+                // 1−leak the scan filters every honeypot out, so per-attack
+                // coverage for these booters ≈ the leak rate (vDOS' 'SUDP'
+                // was seen at 9%).
+                if self.rng.gen::<f64>() >= self.config.avoidance_leak {
+                    list.honeypots.clear();
+                }
+            }
+            self.lists.insert(key, ListState { list, refreshed_at: now });
+        }
+        self.lists.get(&key).expect("list present")
+    }
+
+    /// Expected packets landing on each honeypot in the booter's working
+    /// set. Honeypots are always in the working set (they answer every
+    /// probe and never go offline); real reflectors fill the remainder up
+    /// to the configured working-set size.
+    fn per_honeypot_packets(cmd: &AttackCommand, list: &ReflectorList, working_set: usize) -> u64 {
+        let total = cmd.packets_per_second as u64 * cmd.duration_secs as u64;
+        let hp = list.honeypots.len();
+        let real = list.real_reflectors.min(working_set.saturating_sub(hp));
+        let reflectors = (hp + real).max(1) as u64;
+        total / reflectors
+    }
+
+    /// Fast path: would the paper's pipeline record this command as an
+    /// attack? True iff the booter's list contains at least one honeypot
+    /// and more than 5 packets land on a single sensor.
+    pub fn would_observe(&mut self, cmd: &AttackCommand) -> bool {
+        let ws = self.config.working_set;
+        let st = self.list_for(cmd.booter, cmd.protocol, cmd.time, cmd.avoids_honeypots);
+        if st.list.honeypots.is_empty() {
+            return false;
+        }
+        Engine::per_honeypot_packets(cmd, &st.list, ws) > crate::flow::ATTACK_PACKET_THRESHOLD as u64
+    }
+
+    /// Full path: generate the sensor packet log for one command and run
+    /// it through the fleet's reflect/absorb machinery. Packets are
+    /// returned in time order.
+    pub fn simulate_attack_packets(&mut self, cmd: &AttackCommand) -> Vec<SensorPacket> {
+        let ws = self.config.working_set;
+        let st = self.list_for(cmd.booter, cmd.protocol, cmd.time, cmd.avoids_honeypots);
+        let honeypots = st.list.honeypots.clone();
+        if honeypots.is_empty() {
+            return Vec::new();
+        }
+        let per_sensor = Engine::per_honeypot_packets(cmd, &st.list, ws);
+        let logged = per_sensor.min(self.config.packet_log_cap as u64) as u32;
+        let mut packets = Vec::with_capacity(honeypots.len() * logged as usize);
+        let dur = cmd.duration_secs.max(1) as u64;
+        let fp = BooterFingerprint::for_booter(cmd.booter);
+        for &sensor in &honeypots {
+            for k in 0..logged {
+                // Spread logged packets evenly over the attack duration with
+                // jitter so flow grouping sees realistic spacing.
+                let base = cmd.time + k as u64 * dur / logged.max(1) as u64;
+                let jitter = self.rng.gen_range(0..(dur / logged.max(1) as u64).max(1));
+                let time = base + jitter;
+                self.fleet.handle_packet(sensor, time, cmd.victim, cmd.protocol, false);
+                packets.push(SensorPacket {
+                    time,
+                    sensor,
+                    victim: cmd.victim,
+                    protocol: cmd.protocol,
+                    ttl: fp.observed_ttl(&mut self.rng),
+                    src_port: fp.source_port(&mut self.rng),
+                });
+            }
+        }
+        packets.sort_by_key(|p| p.time);
+        packets
+    }
+
+    /// Generate white-hat / background scan noise over `[from, to)`:
+    /// `scans` scan events, each touching a few sensors with ≤5 packets
+    /// (classified as scans by the pipeline — exercised to prove the
+    /// classifier separates them from attacks).
+    pub fn scan_noise(&mut self, from: u64, to: u64, scans: usize) -> Vec<SensorPacket> {
+        let mut packets = Vec::new();
+        for _ in 0..scans {
+            let time = self.rng.gen_range(from..to.max(from + 1));
+            let victim = VictimAddr(self.rng.gen());
+            let protocol = UdpProtocol::ALL[self.rng.gen_range(0..UdpProtocol::ALL.len())];
+            let touched = self.rng.gen_range(1..=4u32).min(self.fleet.sensor_count());
+            // Distinct sensors so no sensor accumulates >5 packets and the
+            // event stays a scan under the paper's classifier.
+            let mut sensors: Vec<u32> = Vec::with_capacity(touched as usize);
+            while sensors.len() < touched as usize {
+                let s = self.rng.gen_range(0..self.fleet.sensor_count());
+                if !sensors.contains(&s) {
+                    sensors.push(s);
+                }
+            }
+            for sensor in sensors {
+                let n = self.rng.gen_range(1..=3u32);
+                for k in 0..n {
+                    packets.push(SensorPacket {
+                        time: time + k as u64,
+                        sensor,
+                        victim,
+                        protocol,
+                        ttl: self.rng.gen_range(32..=255),
+                        src_port: self.rng.gen(),
+                    });
+                }
+            }
+        }
+        packets.sort_by_key(|p| p.time);
+        packets
+    }
+
+    /// Housekeeping between simulation chunks: expire stale blocklist
+    /// entries so unrelated later attacks start fresh.
+    pub fn maintain(&mut self, now: u64) {
+        self.fleet.expire_blocklist(now, 86_400);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Country;
+    use crate::flow::{classify_flows, FlowClass};
+
+    fn cmd(time: u64, protocol: UdpProtocol, booter: u32) -> AttackCommand {
+        AttackCommand {
+            time,
+            victim: VictimAddr::from_octets(25, 7, 7, 7),
+            protocol,
+            duration_secs: 300,
+            packets_per_second: 50_000,
+            booter,
+            avoids_honeypots: false,
+        }
+    }
+
+    #[test]
+    fn typical_attack_is_observed_and_classified_attack() {
+        let mut e = Engine::new(EngineConfig::default());
+        let c = cmd(1000, UdpProtocol::Ntp, 1);
+        assert!(e.would_observe(&c));
+        let packets = e.simulate_attack_packets(&c);
+        assert!(!packets.is_empty());
+        let flows = classify_flows(&packets);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].1, FlowClass::Attack);
+    }
+
+    #[test]
+    fn fast_and_full_paths_agree() {
+        let mut e = Engine::new(EngineConfig::default());
+        for (i, &p) in UdpProtocol::ALL.iter().enumerate() {
+            let c = cmd(i as u64 * 10_000, p, i as u32);
+            let observed_fast = e.would_observe(&c);
+            let packets = e.simulate_attack_packets(&c);
+            let observed_full = classify_flows(&packets)
+                .iter()
+                .any(|(_, cl)| *cl == FlowClass::Attack);
+            assert_eq!(observed_fast, observed_full, "protocol {p}");
+        }
+    }
+
+    #[test]
+    fn avoiding_booters_mostly_escape_observation() {
+        let mut e = Engine::new(EngineConfig::default());
+        let mut observed = 0;
+        let n = 200;
+        for i in 0..n {
+            let mut c = cmd(i * 700_000, UdpProtocol::Dns, 1000 + i as u32);
+            c.avoids_honeypots = true;
+            if e.would_observe(&c) {
+                observed += 1;
+            }
+        }
+        // ~9% leak per honeypot, 60 honeypots: coverage well below the
+        // non-avoiding ~100% but far above zero.
+        assert!(observed < n, "observed={observed}");
+        let mut baseline = 0;
+        for i in 0..n {
+            let c = cmd(i * 700_000, UdpProtocol::Dns, 5000 + i as u32);
+            if e.would_observe(&c) {
+                baseline += 1;
+            }
+        }
+        assert!(baseline as f64 >= observed as f64, "baseline={baseline} observed={observed}");
+        assert_eq!(baseline, n as i32, "non-avoiding booters should always be covered");
+    }
+
+    #[test]
+    fn weak_attacks_are_not_observed_as_attacks() {
+        let mut e = Engine::new(EngineConfig::default());
+        let mut c = cmd(0, UdpProtocol::Dns, 2);
+        // 2 pps over a huge DNS list: well under 5 packets per sensor.
+        c.packets_per_second = 2;
+        c.duration_secs = 10;
+        assert!(!e.would_observe(&c));
+        let packets = e.simulate_attack_packets(&c);
+        let any_attack = classify_flows(&packets)
+            .iter()
+            .any(|(_, cl)| *cl == FlowClass::Attack);
+        assert!(!any_attack);
+    }
+
+    #[test]
+    fn scan_noise_is_classified_scan() {
+        let mut e = Engine::new(EngineConfig::default());
+        let packets = e.scan_noise(0, 10_000, 50);
+        assert!(!packets.is_empty());
+        let flows = classify_flows(&packets);
+        let attacks = flows.iter().filter(|(_, c)| *c == FlowClass::Attack).count();
+        assert_eq!(attacks, 0, "scan noise must not classify as attacks");
+    }
+
+    #[test]
+    fn packets_are_time_ordered_and_within_duration() {
+        let mut e = Engine::new(EngineConfig::default());
+        let c = cmd(5_000, UdpProtocol::Ldap, 9);
+        let packets = e.simulate_attack_packets(&c);
+        for w in packets.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        for p in &packets {
+            assert!(p.time >= c.time);
+            assert!(p.time <= c.time + c.duration_secs as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn fleet_absorbs_most_of_a_sustained_attack() {
+        let mut e = Engine::new(EngineConfig::default());
+        let c = cmd(0, UdpProtocol::Chargen, 3);
+        e.simulate_attack_packets(&c);
+        // With the log cap at 24 per sensor and the reflect limit at 5, at
+        // most 5 packets per sensor were amplified.
+        assert!(e.fleet().absorption_ratio() > 0.5);
+    }
+
+    #[test]
+    fn victims_can_be_country_targeted() {
+        let mut e = Engine::new(EngineConfig::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        let victim = VictimAddr::sample_in(Country::Nl, &mut rng);
+        let c = AttackCommand {
+            victim,
+            ..cmd(0, UdpProtocol::Ldap, 4)
+        };
+        let packets = e.simulate_attack_packets(&c);
+        assert!(packets.iter().all(|p| p.victim.country() == Country::Nl));
+    }
+
+    #[test]
+    fn rescan_refreshes_lists() {
+        let mut e = Engine::new(EngineConfig {
+            rescan_interval_secs: 100,
+            ..EngineConfig::default()
+        });
+        let c0 = cmd(0, UdpProtocol::Ntp, 7);
+        let _ = e.would_observe(&c0);
+        let first = e.lists.get(&(7, UdpProtocol::Ntp)).unwrap().refreshed_at;
+        let c1 = cmd(1_000, UdpProtocol::Ntp, 7);
+        let _ = e.would_observe(&c1);
+        let second = e.lists.get(&(7, UdpProtocol::Ntp)).unwrap().refreshed_at;
+        assert!(second > first);
+    }
+}

@@ -1,0 +1,389 @@
+//! Flow grouping and attack/scan classification — the paper's exact rules.
+//!
+//! §3: "we group flows of packets to the same victim IP or prefix for the
+//! same protocol until there is a gap of at least 15 minutes with no
+//! packets being received by any sensor. We then check to see if any
+//! sensor received more than 5 packets. If so then we deem it an attack,
+//! if not then we classify the event as a scan."
+
+use crate::addr::VictimAddr;
+use crate::packet::SensorPacket;
+use crate::protocol::UdpProtocol;
+use std::collections::HashMap;
+
+/// The flow-closing gap: 15 minutes, in seconds.
+pub const FLOW_GAP_SECS: u64 = 15 * 60;
+
+/// Attack threshold: a flow is an attack when some sensor saw more than
+/// this many packets.
+pub const ATTACK_PACKET_THRESHOLD: u32 = 5;
+
+/// A closed flow of packets to one victim/protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// Victim address.
+    pub victim: VictimAddr,
+    /// Protocol.
+    pub protocol: UdpProtocol,
+    /// First packet time (seconds since scenario start).
+    pub start: u64,
+    /// Last packet time.
+    pub end: u64,
+    /// Total packets across all sensors.
+    pub total_packets: u64,
+    /// Packets per sensor id.
+    pub per_sensor: HashMap<u32, u32>,
+}
+
+impl Flow {
+    /// Duration in seconds (0 for single-packet flows).
+    pub fn duration_secs(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Largest per-sensor packet count.
+    pub fn max_sensor_packets(&self) -> u32 {
+        self.per_sensor.values().copied().max().unwrap_or(0)
+    }
+
+    /// Classify per the paper's rule.
+    pub fn classify(&self) -> FlowClass {
+        if self.max_sensor_packets() > ATTACK_PACKET_THRESHOLD {
+            FlowClass::Attack
+        } else {
+            FlowClass::Scan
+        }
+    }
+}
+
+/// Attack or scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowClass {
+    /// Some sensor saw more than [`ATTACK_PACKET_THRESHOLD`] packets.
+    Attack,
+    /// Low-intensity event: reflector discovery or noise.
+    Scan,
+}
+
+#[derive(Debug, Clone)]
+struct OpenFlow {
+    start: u64,
+    end: u64,
+    total: u64,
+    per_sensor: HashMap<u32, u32>,
+}
+
+/// How victims are keyed when grouping flows — the paper groups "to the
+/// same victim IP or prefix".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimKey {
+    /// Exact victim address (default).
+    #[default]
+    ByIp,
+    /// /24 prefix — collapses carpet-bombing attacks that rotate the last
+    /// octet into a single flow.
+    ByPrefix24,
+}
+
+impl VictimKey {
+    fn canonical(&self, v: VictimAddr) -> VictimAddr {
+        match self {
+            VictimKey::ByIp => v,
+            VictimKey::ByPrefix24 => VictimAddr(v.prefix24() << 8),
+        }
+    }
+}
+
+/// Streaming flow grouper. Packets must be pushed in non-decreasing time
+/// order (the engine produces them that way); out-of-order input within a
+/// flow is tolerated but a stale packet cannot reopen a closed flow.
+#[derive(Debug, Default)]
+pub struct FlowGrouper {
+    open: HashMap<(VictimAddr, UdpProtocol), OpenFlow>,
+    closed: Vec<Flow>,
+    key: VictimKey,
+}
+
+impl FlowGrouper {
+    /// New empty grouper keyed by exact victim IP.
+    pub fn new() -> FlowGrouper {
+        FlowGrouper::default()
+    }
+
+    /// New grouper with an explicit victim keying rule.
+    pub fn with_key(key: VictimKey) -> FlowGrouper {
+        FlowGrouper {
+            key,
+            ..FlowGrouper::default()
+        }
+    }
+
+    /// Number of currently open flows.
+    pub fn open_flows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Push one packet.
+    pub fn push(&mut self, p: &SensorPacket) {
+        let key = (self.key.canonical(p.victim), p.protocol);
+        match self.open.get_mut(&key) {
+            Some(flow) if p.time.saturating_sub(flow.end) < FLOW_GAP_SECS => {
+                flow.end = flow.end.max(p.time);
+                flow.total += 1;
+                *flow.per_sensor.entry(p.sensor).or_insert(0) += 1;
+            }
+            Some(_) => {
+                // Gap exceeded: close the old flow, open a new one.
+                let old = self.open.remove(&key).expect("flow present");
+                self.closed.push(Flow {
+                    victim: key.0,
+                    protocol: key.1,
+                    start: old.start,
+                    end: old.end,
+                    total_packets: old.total,
+                    per_sensor: old.per_sensor,
+                });
+                self.insert_new(key, p);
+            }
+            None => self.insert_new(key, p),
+        }
+    }
+
+    fn insert_new(&mut self, key: (VictimAddr, UdpProtocol), p: &SensorPacket) {
+        let mut per_sensor = HashMap::new();
+        per_sensor.insert(p.sensor, 1);
+        self.open.insert(
+            key,
+            OpenFlow {
+                start: p.time,
+                end: p.time,
+                total: 1,
+                per_sensor,
+            },
+        );
+    }
+
+    /// Close every open flow whose last packet is at least the gap before
+    /// `now`, releasing memory on long runs. Returns how many were closed.
+    pub fn flush_before(&mut self, now: u64) -> usize {
+        let keys: Vec<_> = self
+            .open
+            .iter()
+            .filter(|(_, f)| now.saturating_sub(f.end) >= FLOW_GAP_SECS)
+            .map(|(k, _)| *k)
+            .collect();
+        let n = keys.len();
+        for key in keys {
+            let old = self.open.remove(&key).expect("flow present");
+            self.closed.push(Flow {
+                victim: key.0,
+                protocol: key.1,
+                start: old.start,
+                end: old.end,
+                total_packets: old.total,
+                per_sensor: old.per_sensor,
+            });
+        }
+        n
+    }
+
+    /// Drain flows closed so far.
+    pub fn take_closed(&mut self) -> Vec<Flow> {
+        std::mem::take(&mut self.closed)
+    }
+
+    /// Close everything and return all remaining flows.
+    pub fn finish(mut self) -> Vec<Flow> {
+        self.flush_before(u64::MAX);
+        self.closed
+    }
+}
+
+/// Group a complete packet trace and classify each flow.
+pub fn classify_flows(packets: &[SensorPacket]) -> Vec<(Flow, FlowClass)> {
+    let mut grouper = FlowGrouper::new();
+    for p in packets {
+        grouper.push(p);
+    }
+    grouper
+        .finish()
+        .into_iter()
+        .map(|f| {
+            let class = f.classify();
+            (f, class)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(time: u64, sensor: u32, victim_d: u8, protocol: UdpProtocol) -> SensorPacket {
+        SensorPacket {
+            time,
+            sensor,
+            victim: VictimAddr::from_octets(25, 0, 0, victim_d),
+            protocol,
+            ttl: 54,
+            src_port: 80,
+        }
+    }
+
+    #[test]
+    fn single_flow_groups_contiguous_packets() {
+        let packets: Vec<_> = (0..10).map(|i| pkt(i * 60, 0, 1, UdpProtocol::Ntp)).collect();
+        let flows = classify_flows(&packets);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].0.total_packets, 10);
+        assert_eq!(flows[0].1, FlowClass::Attack); // 10 > 5 on sensor 0
+    }
+
+    #[test]
+    fn gap_splits_flows() {
+        let mut packets: Vec<_> = (0..6).map(|i| pkt(i * 10, 0, 1, UdpProtocol::Ntp)).collect();
+        // Second burst 20 minutes after the last packet of the first.
+        let resume = packets.last().unwrap().time + FLOW_GAP_SECS + 300;
+        packets.extend((0..6).map(|i| pkt(resume + i * 10, 0, 1, UdpProtocol::Ntp)));
+        let flows = classify_flows(&packets);
+        assert_eq!(flows.len(), 2);
+    }
+
+    #[test]
+    fn gap_just_under_15_minutes_keeps_flow_open() {
+        let packets = vec![
+            pkt(0, 0, 1, UdpProtocol::Dns),
+            pkt(FLOW_GAP_SECS - 1, 0, 1, UdpProtocol::Dns),
+        ];
+        let flows = classify_flows(&packets);
+        assert_eq!(flows.len(), 1);
+    }
+
+    #[test]
+    fn gap_of_exactly_15_minutes_closes_flow() {
+        let packets = vec![
+            pkt(0, 0, 1, UdpProtocol::Dns),
+            pkt(FLOW_GAP_SECS, 0, 1, UdpProtocol::Dns),
+        ];
+        let flows = classify_flows(&packets);
+        assert_eq!(flows.len(), 2);
+    }
+
+    #[test]
+    fn scan_classification_below_threshold() {
+        // 5 packets on one sensor is NOT an attack ("more than 5").
+        let packets: Vec<_> = (0..5).map(|i| pkt(i, 0, 1, UdpProtocol::Ssdp)).collect();
+        let flows = classify_flows(&packets);
+        assert_eq!(flows[0].1, FlowClass::Scan);
+        // 6 packets is.
+        let packets: Vec<_> = (0..6).map(|i| pkt(i, 0, 1, UdpProtocol::Ssdp)).collect();
+        let flows = classify_flows(&packets);
+        assert_eq!(flows[0].1, FlowClass::Attack);
+    }
+
+    #[test]
+    fn spread_across_sensors_stays_scan() {
+        // 12 packets but max 2 per sensor: the per-sensor rule calls it a
+        // scan (the paper's threshold is per sensor, not total).
+        let packets: Vec<_> = (0..12).map(|i| pkt(i, (i % 6) as u32, 1, UdpProtocol::Ntp)).collect();
+        let flows = classify_flows(&packets);
+        assert_eq!(flows[0].0.total_packets, 12);
+        assert_eq!(flows[0].0.max_sensor_packets(), 2);
+        assert_eq!(flows[0].1, FlowClass::Scan);
+    }
+
+    #[test]
+    fn different_victims_and_protocols_are_separate_flows() {
+        let packets = vec![
+            pkt(0, 0, 1, UdpProtocol::Ntp),
+            pkt(1, 0, 2, UdpProtocol::Ntp),
+            pkt(2, 0, 1, UdpProtocol::Dns),
+        ];
+        let flows = classify_flows(&packets);
+        assert_eq!(flows.len(), 3);
+    }
+
+    #[test]
+    fn flush_before_closes_stale_flows_only() {
+        let mut g = FlowGrouper::new();
+        g.push(&pkt(0, 0, 1, UdpProtocol::Ntp));
+        g.push(&pkt(100, 0, 2, UdpProtocol::Ntp));
+        assert_eq!(g.open_flows(), 2);
+        let closed = g.flush_before(FLOW_GAP_SECS + 50);
+        assert_eq!(closed, 1); // only victim 1's flow is stale
+        assert_eq!(g.open_flows(), 1);
+        assert_eq!(g.take_closed().len(), 1);
+    }
+
+    #[test]
+    fn flow_duration_and_bounds() {
+        let packets = vec![pkt(100, 0, 1, UdpProtocol::Ldap), pkt(400, 1, 1, UdpProtocol::Ldap)];
+        let flows = classify_flows(&packets);
+        let f = &flows[0].0;
+        assert_eq!(f.start, 100);
+        assert_eq!(f.end, 400);
+        assert_eq!(f.duration_secs(), 300);
+    }
+
+    #[test]
+    fn empty_input_yields_no_flows() {
+        assert!(classify_flows(&[]).is_empty());
+    }
+
+    #[test]
+    fn prefix_grouping_merges_carpet_bombing() {
+        // Carpet-bombing: rotate the last octet within one /24.
+        let packets: Vec<SensorPacket> = (0..12u64)
+            .map(|i| SensorPacket {
+                time: i,
+                sensor: 0,
+                victim: VictimAddr::from_octets(25, 0, 0, (i % 12) as u8),
+                protocol: UdpProtocol::Ntp,
+                ttl: 54,
+                src_port: 80,
+            })
+            .collect();
+        // By IP: 12 single-packet scans.
+        let mut by_ip = FlowGrouper::new();
+        for p in &packets {
+            by_ip.push(p);
+        }
+        assert_eq!(by_ip.finish().len(), 12);
+        // By /24: one 12-packet attack flow.
+        let mut by_prefix = FlowGrouper::with_key(VictimKey::ByPrefix24);
+        for p in &packets {
+            by_prefix.push(p);
+        }
+        let flows = by_prefix.finish();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].total_packets, 12);
+        assert_eq!(flows[0].classify(), FlowClass::Attack);
+    }
+
+    #[test]
+    fn prefix_grouping_keeps_distinct_prefixes_apart() {
+        let packets = vec![
+            SensorPacket {
+                time: 0,
+                sensor: 0,
+                victim: VictimAddr::from_octets(25, 0, 0, 1),
+                protocol: UdpProtocol::Dns,
+                ttl: 54,
+                src_port: 80,
+            },
+            SensorPacket {
+                time: 1,
+                sensor: 0,
+                victim: VictimAddr::from_octets(25, 0, 1, 1),
+                protocol: UdpProtocol::Dns,
+                ttl: 54,
+                src_port: 80,
+            },
+        ];
+        let mut g = FlowGrouper::with_key(VictimKey::ByPrefix24);
+        for p in &packets {
+            g.push(p);
+        }
+        assert_eq!(g.finish().len(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Packet records: spoofed requests and what honeypot sensors log.
+//!
+//! Timestamps are seconds since the scenario start (the market simulator
+//! anchors second 0 to a calendar date). We record what the paper's
+//! sensors record: per incoming spoofed packet, the (spoofed) source —
+//! i.e. the victim — the protocol, and the arrival time.
+
+use crate::addr::VictimAddr;
+use crate::protocol::UdpProtocol;
+
+/// A spoofed request as emitted by attack infrastructure: the source
+/// address is forged to the victim's so the reflector's (amplified)
+/// response lands on the victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpoofedRequest {
+    /// Arrival time, seconds since scenario start.
+    pub time: u64,
+    /// Forged source = the victim.
+    pub victim: VictimAddr,
+    /// Protocol being reflected.
+    pub protocol: UdpProtocol,
+    /// Reflector index targeted (into the engine's reflector table).
+    pub reflector: usize,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// One packet as logged by a honeypot sensor — the unit record of the
+/// paper's victim dataset.
+///
+/// Besides the victim/protocol/time triple the paper's analysis uses,
+/// sensors log the attributes Krupp et al. (RAID 2017, cited in §5) used
+/// to attribute attacks to booters: the received TTL (initial TTL minus
+/// the path length from the attack server, a stable per-booter
+/// fingerprint) and the spoofed source port (fixed for some booter
+/// stressers, randomised for others — the "victim port entropy" feature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SensorPacket {
+    /// Arrival time, seconds since scenario start.
+    pub time: u64,
+    /// Sensor that logged the packet.
+    pub sensor: u32,
+    /// The spoofed source (= victim) address.
+    pub victim: VictimAddr,
+    /// Protocol.
+    pub protocol: UdpProtocol,
+    /// Received IP TTL.
+    pub ttl: u8,
+    /// Spoofed source port (the port amplified traffic will hit).
+    pub src_port: u16,
+}
+
+impl SpoofedRequest {
+    /// The response traffic this request would generate if reflected in
+    /// full: request bytes times the protocol's amplification factor.
+    pub fn reflected_bytes(&self) -> f64 {
+        self.bytes as f64 * self.protocol.amplification_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflected_bytes_multiplies_amplification() {
+        let r = SpoofedRequest {
+            time: 0,
+            victim: VictimAddr::from_octets(25, 0, 0, 1),
+            protocol: UdpProtocol::Ntp,
+            reflector: 0,
+            bytes: 8,
+        };
+        assert!((r.reflected_bytes() - 8.0 * 556.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sensor_packet_is_small_and_copyable() {
+        // The observation stream is huge; keep the record compact.
+        assert!(std::mem::size_of::<SensorPacket>() <= 24);
+    }
+}

@@ -1,0 +1,162 @@
+//! Reflector discovery scanners.
+//!
+//! Booters run scanners to find open reflectors; the honeypot fleet
+//! deliberately answers them ("It attempts to only reflect to the
+//! criminals' scanners (so that they use the honeypots)"), so honeypots
+//! end up inside booter reflector lists. White-hat scanners are never
+//! answered and so never list honeypots.
+
+use crate::protocol::UdpProtocol;
+use rand::Rng;
+
+/// Who is scanning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScannerKind {
+    /// A booter's reflector-discovery scanner: honeypots answer it.
+    Booter,
+    /// A known white-hat/research scanner: honeypots stay silent.
+    WhiteHat,
+}
+
+/// A reflector list as assembled by one scan: how many real reflectors and
+/// which honeypot sensors the scanner found for each protocol.
+#[derive(Debug, Clone)]
+pub struct ReflectorList {
+    /// Protocol scanned.
+    pub protocol: UdpProtocol,
+    /// Number of genuine reflectors discovered.
+    pub real_reflectors: usize,
+    /// Honeypot sensor ids discovered (empty for white-hat scans).
+    pub honeypots: Vec<u32>,
+}
+
+impl ReflectorList {
+    /// Fraction of the list that is honeypots — this is what determines
+    /// dataset coverage for the protocol.
+    pub fn honeypot_share(&self) -> f64 {
+        let total = self.real_reflectors + self.honeypots.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.honeypots.len() as f64 / total as f64
+    }
+}
+
+/// Simulate one scan of the address space for `protocol`.
+///
+/// `scan_effort` in (0, 1] is the fraction of the population the scanner
+/// covers; honeypots are discovered at full effort for booter scanners
+/// (they answer every probe) and never for white-hat scanners.
+pub fn run_scan<R: Rng + ?Sized>(
+    protocol: UdpProtocol,
+    kind: ScannerKind,
+    scan_effort: f64,
+    sensor_count: u32,
+    rng: &mut R,
+) -> ReflectorList {
+    assert!(scan_effort > 0.0 && scan_effort <= 1.0, "scan_effort={scan_effort}");
+    let population = protocol.real_reflector_population();
+    // Binomial draw approximated by per-unit Bernoulli on a capped sample
+    // for efficiency at large populations.
+    let expected = population as f64 * scan_effort;
+    let real_found = {
+        // Normal approximation to Binomial(population, effort).
+        let sd = (expected * (1.0 - scan_effort)).sqrt();
+        let draw = expected + sd * booters_sample_normal(rng);
+        draw.round().clamp(0.0, population as f64) as usize
+    };
+    let honeypots = match kind {
+        ScannerKind::WhiteHat => Vec::new(),
+        ScannerKind::Booter => {
+            // Honeypots answer eagerly, so a booter scan finds (almost) the
+            // whole fleet even at moderate effort.
+            let p_each = (scan_effort * 4.0).min(1.0);
+            (0..sensor_count).filter(|_| rng.gen::<f64>() < p_each).collect()
+        }
+    };
+    ReflectorList {
+        protocol,
+        real_reflectors: real_found,
+        honeypots,
+    }
+}
+
+/// Standard normal draw (kept local to avoid a stats dependency here).
+fn booters_sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0f64..1.0);
+        let v: f64 = rng.gen_range(-1.0f64..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xACE)
+    }
+
+    #[test]
+    fn white_hat_scans_never_find_honeypots() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let l = run_scan(UdpProtocol::Ntp, ScannerKind::WhiteHat, 0.9, 60, &mut r);
+            assert!(l.honeypots.is_empty());
+            assert!(l.real_reflectors > 0);
+        }
+    }
+
+    #[test]
+    fn booter_scans_find_most_honeypots() {
+        let mut r = rng();
+        let l = run_scan(UdpProtocol::Ntp, ScannerKind::Booter, 0.5, 60, &mut r);
+        assert!(l.honeypots.len() > 45, "found {}", l.honeypots.len());
+    }
+
+    #[test]
+    fn ldap_lists_are_honeypot_heavy() {
+        // Few real LDAP reflectors exist, so the honeypot share is large —
+        // the paper's argument for LDAP coverage being "very representative".
+        let mut r = rng();
+        let ldap = run_scan(UdpProtocol::Ldap, ScannerKind::Booter, 0.3, 60, &mut r);
+        let dns = run_scan(UdpProtocol::Dns, ScannerKind::Booter, 0.3, 60, &mut r);
+        assert!(
+            ldap.honeypot_share() > 5.0 * dns.honeypot_share(),
+            "ldap={} dns={}",
+            ldap.honeypot_share(),
+            dns.honeypot_share()
+        );
+    }
+
+    #[test]
+    fn effort_scales_real_discoveries() {
+        let mut r = rng();
+        let low = run_scan(UdpProtocol::Ssdp, ScannerKind::Booter, 0.1, 60, &mut r);
+        let high = run_scan(UdpProtocol::Ssdp, ScannerKind::Booter, 0.9, 60, &mut r);
+        assert!(high.real_reflectors > 3 * low.real_reflectors);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan_effort")]
+    fn zero_effort_rejected() {
+        let mut r = rng();
+        run_scan(UdpProtocol::Dns, ScannerKind::Booter, 0.0, 10, &mut r);
+    }
+
+    #[test]
+    fn honeypot_share_empty_list() {
+        let l = ReflectorList {
+            protocol: UdpProtocol::Qotd,
+            real_reflectors: 0,
+            honeypots: vec![],
+        };
+        assert_eq!(l.honeypot_share(), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the netsim substrate: flow grouping
+//! invariants, classification rules, addressing and the engine.
+
+use booters_netsim::flow::{FlowGrouper, FLOW_GAP_SECS};
+use booters_netsim::{
+    classify_flows, AttackCommand, Country, Engine, EngineConfig, FlowClass, SensorPacket,
+    UdpProtocol, VictimAddr,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary packet stream over a small victim/sensor space,
+/// time-ordered.
+fn packet_stream() -> impl Strategy<Value = Vec<SensorPacket>> {
+    prop::collection::vec(
+        (
+            0u64..200_000,  // time
+            0u32..6,        // sensor
+            0u8..4,         // victim last octet
+            0usize..UdpProtocol::ALL.len(),
+        ),
+        0..200,
+    )
+    .prop_map(|mut raw| {
+        raw.sort_by_key(|r| r.0);
+        raw.into_iter()
+            .map(|(time, sensor, v, p)| SensorPacket {
+                time,
+                sensor,
+                victim: VictimAddr::from_octets(25, 0, 0, v),
+                protocol: UdpProtocol::ALL[p],
+                ttl: 50,
+                src_port: 4444,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn flow_grouping_conserves_packets(packets in packet_stream()) {
+        let flows = classify_flows(&packets);
+        let total: u64 = flows.iter().map(|(f, _)| f.total_packets).sum();
+        prop_assert_eq!(total, packets.len() as u64);
+    }
+
+    #[test]
+    fn per_sensor_counts_sum_to_flow_total(packets in packet_stream()) {
+        for (f, _) in classify_flows(&packets) {
+            let sum: u64 = f.per_sensor.values().map(|&c| c as u64).sum();
+            prop_assert_eq!(sum, f.total_packets);
+        }
+    }
+
+    #[test]
+    fn flows_of_same_key_are_gap_separated(packets in packet_stream()) {
+        let flows = classify_flows(&packets);
+        // Group closed flows by key and check consecutive flows are at
+        // least the gap apart.
+        use std::collections::HashMap;
+        let mut by_key: HashMap<(VictimAddr, UdpProtocol), Vec<(u64, u64)>> = HashMap::new();
+        for (f, _) in &flows {
+            by_key.entry((f.victim, f.protocol)).or_default().push((f.start, f.end));
+        }
+        for ranges in by_key.values_mut() {
+            ranges.sort();
+            for w in ranges.windows(2) {
+                prop_assert!(
+                    w[1].0 >= w[0].1 + FLOW_GAP_SECS,
+                    "flows too close: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classification_matches_rule(packets in packet_stream()) {
+        for (f, class) in classify_flows(&packets) {
+            let expect = if f.max_sensor_packets() > 5 {
+                FlowClass::Attack
+            } else {
+                FlowClass::Scan
+            };
+            prop_assert_eq!(class, expect);
+        }
+    }
+
+    #[test]
+    fn flow_bounds_are_consistent(packets in packet_stream()) {
+        for (f, _) in classify_flows(&packets) {
+            prop_assert!(f.start <= f.end);
+            prop_assert!(f.total_packets >= 1);
+        }
+    }
+
+    #[test]
+    fn flush_before_is_equivalent_to_batch(packets in packet_stream()) {
+        // Periodic flushing must produce the same flows as one-shot
+        // grouping.
+        let batch = classify_flows(&packets);
+        let mut grouper = FlowGrouper::new();
+        let mut flows = Vec::new();
+        for (i, p) in packets.iter().enumerate() {
+            grouper.push(p);
+            if i % 17 == 0 {
+                grouper.flush_before(p.time.saturating_sub(FLOW_GAP_SECS * 2));
+                flows.extend(grouper.take_closed());
+            }
+        }
+        flows.extend(grouper.finish());
+        prop_assert_eq!(flows.len(), batch.len());
+        let total: u64 = flows.iter().map(|f| f.total_packets).sum();
+        prop_assert_eq!(total, packets.len() as u64);
+    }
+
+    #[test]
+    fn geolocation_total(raw in any::<u32>()) {
+        // Every address maps to exactly one country.
+        let addr = VictimAddr(raw);
+        let c = addr.country();
+        prop_assert!(Country::ALL.contains(&c));
+    }
+
+    #[test]
+    fn engine_observation_is_deterministic_per_command(
+        pps in 1u32..100_000,
+        dur in 1u32..2_000,
+        booter in 0u32..20,
+        avoids in any::<bool>(),
+    ) {
+        let cmd = AttackCommand {
+            time: 1000,
+            victim: VictimAddr::from_octets(25, 1, 1, 1),
+            protocol: UdpProtocol::Ldap,
+            duration_secs: dur,
+            packets_per_second: pps,
+            booter,
+            avoids_honeypots: avoids,
+        };
+        let mut e1 = Engine::new(EngineConfig::default());
+        let mut e2 = Engine::new(EngineConfig::default());
+        prop_assert_eq!(e1.would_observe(&cmd), e2.would_observe(&cmd));
+    }
+
+    #[test]
+    fn packet_generation_respects_log_cap(
+        pps in 1_000u32..200_000,
+        dur in 60u32..1_200,
+    ) {
+        let config = EngineConfig::default();
+        let cap = config.packet_log_cap as usize;
+        let sensors = config.sensors.sensors as usize;
+        let mut engine = Engine::new(config);
+        let cmd = AttackCommand {
+            time: 0,
+            victim: VictimAddr::from_octets(25, 2, 2, 2),
+            protocol: UdpProtocol::Ntp,
+            duration_secs: dur,
+            packets_per_second: pps,
+            booter: 1,
+            avoids_honeypots: false,
+        };
+        let packets = engine.simulate_attack_packets(&cmd);
+        prop_assert!(packets.len() <= cap * sensors);
+        // Time-ordered.
+        for w in packets.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! Hypothesis tests used by §3 of the paper to validate the booter
+//! self-reported attack counters:
+//!
+//! * [`white_test`] — White's test for heteroskedasticity (count data
+//!   "tends to be heteroskedastistic ... as numbers go up the variance
+//!   ... will increase as well"). Genuine counter series should reject
+//!   homoskedasticity.
+//! * [`dagostino_k2`] — the skewness/kurtosis normality test ("real-world
+//!   data are often normally distributed, and faking with random data would
+//!   produce uniform distributions").
+//! * [`jarque_bera`] — the simpler moment-based normality test, kept as a
+//!   cross-check.
+//! * [`ljung_box`] — serial-correlation test used by the model diagnostics.
+//! * [`prime_multiplier_check`] — the paper's "no sequences of any length
+//!   had values which were all divisible by any prime less than 50" check
+//!   for crude multiplicative forgery.
+
+use crate::describe::{excess_kurtosis, mean, skewness};
+use crate::dist::ChiSquared;
+use booters_linalg::{Matrix, Qr};
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic.
+    pub statistic: f64,
+    /// Degrees of freedom of the reference distribution.
+    pub df: f64,
+    /// The p-value (upper tail unless documented otherwise).
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// True if the null hypothesis is rejected at the given level.
+    pub fn reject_at(&self, level: f64) -> bool {
+        self.p_value < level
+    }
+}
+
+/// Ordinary least squares of `y` on a design with intercept prepended,
+/// returning fitted values and residuals. Internal helper for [`white_test`].
+fn ols_fit(design: &Matrix, y: &[f64]) -> Option<(Vec<f64>, Vec<f64>)> {
+    let qr = Qr::new(design).ok()?;
+    let beta = qr.solve(y).ok()?;
+    let fitted = design.matvec(&beta).ok()?;
+    let resid: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
+    Some((fitted, resid))
+}
+
+/// R² of a regression of `y` given residuals `resid`.
+fn r_squared(y: &[f64], resid: &[f64]) -> f64 {
+    let my = mean(y);
+    let tss: f64 = y.iter().map(|v| (v - my) * (v - my)).sum();
+    let rss: f64 = resid.iter().map(|e| e * e).sum();
+    if tss <= 0.0 {
+        return 0.0;
+    }
+    1.0 - rss / tss
+}
+
+/// White's test for heteroskedasticity of `y` regressed on a single
+/// regressor `x` (the paper regresses weekly attack counts on time).
+///
+/// Procedure: OLS of y on (1, x); then the auxiliary regression of the
+/// squared residuals on (1, x, x²). The LM statistic n·R² of the auxiliary
+/// regression is χ²(2) under homoskedasticity. A *low* p-value means
+/// heteroskedasticity — which for count data is the signature of genuine
+/// (un-faked) series.
+pub fn white_test(x: &[f64], y: &[f64]) -> Option<TestResult> {
+    let n = x.len();
+    if n != y.len() || n < 5 {
+        return None;
+    }
+    let ones = vec![1.0; n];
+    let design = {
+        let mut m = Matrix::zeros(n, 2);
+        for i in 0..n {
+            m[(i, 0)] = ones[i];
+            m[(i, 1)] = x[i];
+        }
+        m
+    };
+    let (_, resid) = ols_fit(&design, y)?;
+    let e2: Vec<f64> = resid.iter().map(|e| e * e).collect();
+    let aux = {
+        let mut m = Matrix::zeros(n, 3);
+        for i in 0..n {
+            m[(i, 0)] = 1.0;
+            m[(i, 1)] = x[i];
+            m[(i, 2)] = x[i] * x[i];
+        }
+        m
+    };
+    let (_, aux_resid) = ols_fit(&aux, &e2)?;
+    let r2 = r_squared(&e2, &aux_resid);
+    let stat = n as f64 * r2.max(0.0);
+    let df = 2.0;
+    Some(TestResult {
+        statistic: stat,
+        df,
+        p_value: ChiSquared::new(df).sf(stat),
+    })
+}
+
+/// White's test for a general design matrix (columns are regressors, no
+/// intercept — one is added internally). The auxiliary regression uses
+/// levels, squares and unique cross-products of the regressors.
+pub fn white_test_general(design_cols: &[Vec<f64>], y: &[f64]) -> Option<TestResult> {
+    let k = design_cols.len();
+    if k == 0 {
+        return None;
+    }
+    let n = design_cols[0].len();
+    if y.len() != n || design_cols.iter().any(|c| c.len() != n) {
+        return None;
+    }
+    // Main regression: y ~ 1 + X
+    let mut main = Matrix::zeros(n, k + 1);
+    for i in 0..n {
+        main[(i, 0)] = 1.0;
+        for (j, c) in design_cols.iter().enumerate() {
+            main[(i, j + 1)] = c[i];
+        }
+    }
+    let (_, resid) = ols_fit(&main, y)?;
+    let e2: Vec<f64> = resid.iter().map(|e| e * e).collect();
+    // Auxiliary columns: levels, squares, cross products.
+    let mut aux_cols: Vec<Vec<f64>> = Vec::new();
+    for c in design_cols {
+        aux_cols.push(c.clone());
+    }
+    for a in 0..k {
+        for b in a..k {
+            let col: Vec<f64> = (0..n).map(|i| design_cols[a][i] * design_cols[b][i]).collect();
+            aux_cols.push(col);
+        }
+    }
+    let p = aux_cols.len();
+    let mut aux = Matrix::zeros(n, p + 1);
+    for i in 0..n {
+        aux[(i, 0)] = 1.0;
+        for (j, c) in aux_cols.iter().enumerate() {
+            aux[(i, j + 1)] = c[i];
+        }
+    }
+    let (_, aux_resid) = ols_fit(&aux, &e2)?;
+    let r2 = r_squared(&e2, &aux_resid);
+    let stat = n as f64 * r2.max(0.0);
+    let df = p as f64;
+    Some(TestResult {
+        statistic: stat,
+        df,
+        p_value: ChiSquared::new(df).sf(stat),
+    })
+}
+
+/// D'Agostino's skewness z-test (the first half of K²).
+pub fn dagostino_skewness_z(xs: &[f64]) -> Option<f64> {
+    let n = xs.len() as f64;
+    if n < 8.0 {
+        return None;
+    }
+    let g1 = skewness(xs);
+    let y = g1 * ((n + 1.0) * (n + 3.0) / (6.0 * (n - 2.0))).sqrt();
+    let beta2 = 3.0 * (n * n + 27.0 * n - 70.0) * (n + 1.0) * (n + 3.0)
+        / ((n - 2.0) * (n + 5.0) * (n + 7.0) * (n + 9.0));
+    let w2 = -1.0 + (2.0 * (beta2 - 1.0)).sqrt();
+    let delta = 1.0 / (0.5 * w2.ln()).sqrt();
+    let alpha = (2.0 / (w2 - 1.0)).sqrt();
+    let t = y / alpha;
+    Some(delta * (t + (t * t + 1.0).sqrt()).ln())
+}
+
+/// Anscombe–Glynn kurtosis z-test (the second half of K²).
+pub fn dagostino_kurtosis_z(xs: &[f64]) -> Option<f64> {
+    let n = xs.len() as f64;
+    if n < 20.0 {
+        return None;
+    }
+    let b2 = excess_kurtosis(xs) + 3.0;
+    let eb2 = 3.0 * (n - 1.0) / (n + 1.0);
+    let vb2 = 24.0 * n * (n - 2.0) * (n - 3.0) / ((n + 1.0).powi(2) * (n + 3.0) * (n + 5.0));
+    let x = (b2 - eb2) / vb2.sqrt();
+    let sqrt_beta1 = 6.0 * (n * n - 5.0 * n + 2.0) / ((n + 7.0) * (n + 9.0))
+        * (6.0 * (n + 3.0) * (n + 5.0) / (n * (n - 2.0) * (n - 3.0))).sqrt();
+    let a = 6.0 + 8.0 / sqrt_beta1 * (2.0 / sqrt_beta1 + (1.0 + 4.0 / (sqrt_beta1 * sqrt_beta1)).sqrt());
+    let num = 1.0 - 2.0 / (9.0 * a);
+    let den_inner = (1.0 - 2.0 / a) / (1.0 + x * (2.0 / (a - 4.0)).sqrt());
+    let z = (num - den_inner.cbrt()) / (2.0 / (9.0 * a)).sqrt();
+    Some(z)
+}
+
+/// D'Agostino–Pearson K² omnibus normality test.
+///
+/// K² = Z₁² + Z₂² ~ χ²(2) under normality. Used on the top booter series to
+/// check the self-reported counters look like real-world (≈ normal weekly
+/// increments) rather than uniform machine-generated noise.
+pub fn dagostino_k2(xs: &[f64]) -> Option<TestResult> {
+    let z1 = dagostino_skewness_z(xs)?;
+    let z2 = dagostino_kurtosis_z(xs)?;
+    let stat = z1 * z1 + z2 * z2;
+    Some(TestResult {
+        statistic: stat,
+        df: 2.0,
+        p_value: ChiSquared::new(2.0).sf(stat),
+    })
+}
+
+/// Jarque–Bera normality test. JB = n/6 (g₁² + g₂²/4) ~ χ²(2).
+pub fn jarque_bera(xs: &[f64]) -> Option<TestResult> {
+    let n = xs.len() as f64;
+    if n < 8.0 {
+        return None;
+    }
+    let g1 = skewness(xs);
+    let g2 = excess_kurtosis(xs);
+    let stat = n / 6.0 * (g1 * g1 + g2 * g2 / 4.0);
+    Some(TestResult {
+        statistic: stat,
+        df: 2.0,
+        p_value: ChiSquared::new(2.0).sf(stat),
+    })
+}
+
+/// Ljung–Box test for serial correlation up to `lags`.
+///
+/// Q = n(n+2) Σ r_k²/(n−k) ~ χ²(lags). Used as a residual diagnostic on the
+/// fitted negative binomial model.
+pub fn ljung_box(xs: &[f64], lags: usize) -> Option<TestResult> {
+    let n = xs.len();
+    if lags == 0 || n <= lags + 1 {
+        return None;
+    }
+    let nf = n as f64;
+    let mut q = 0.0;
+    for k in 1..=lags {
+        let r = crate::describe::autocorrelation(xs, k);
+        if !r.is_finite() {
+            return None;
+        }
+        q += r * r / (nf - k as f64);
+    }
+    q *= nf * (nf + 2.0);
+    Some(TestResult {
+        statistic: q,
+        df: lags as f64,
+        p_value: ChiSquared::new(lags as f64).sf(q),
+    })
+}
+
+/// Asymptotic Kolmogorov distribution survival function
+/// Q(λ) = 2 Σ (−1)^{j−1} exp(−2 j² λ²).
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample Kolmogorov–Smirnov test against a theoretical CDF.
+///
+/// Returns the D statistic and the asymptotic p-value (valid for n ≳ 35;
+/// conservative below). Used to check simulated samples against their
+/// nominal distributions.
+pub fn ks_test(xs: &[f64], cdf: impl Fn(f64) -> f64) -> Option<TestResult> {
+    let n = xs.len();
+    if n < 5 {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("ks_test: NaN"));
+    let nf = n as f64;
+    let mut d = 0.0_f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / nf;
+        let hi = (i + 1) as f64 / nf;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    let lambda = (nf.sqrt() + 0.12 + 0.11 / nf.sqrt()) * d;
+    Some(TestResult {
+        statistic: d,
+        df: nf,
+        p_value: kolmogorov_sf(lambda),
+    })
+}
+
+/// Two-sample Kolmogorov–Smirnov test: do two samples come from the same
+/// distribution? Used to compare observation fidelities.
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> Option<TestResult> {
+    let (n, m) = (xs.len(), ys.len());
+    if n < 5 || m < 5 {
+        return None;
+    }
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_by(|u, v| u.partial_cmp(v).expect("ks: NaN"));
+    b.sort_by(|u, v| u.partial_cmp(v).expect("ks: NaN"));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0_f64;
+    while i < n && j < m {
+        let x = a[i].min(b[j]);
+        while i < n && a[i] <= x {
+            i += 1;
+        }
+        while j < m && b[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / n as f64 - j as f64 / m as f64).abs());
+    }
+    let ne = (n as f64 * m as f64) / (n as f64 + m as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    Some(TestResult {
+        statistic: d,
+        df: ne,
+        p_value: kolmogorov_sf(lambda),
+    })
+}
+
+/// The primes below 50, as used by the paper's multiplier check.
+pub const PRIMES_BELOW_50: [u64; 15] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47];
+
+/// Result of the prime-divisibility multiplier check on one series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiplierCheck {
+    /// For each prime below 50, the length of the longest run of
+    /// consecutive values all divisible by that prime.
+    pub longest_runs: Vec<(u64, usize)>,
+    /// Length of the series examined.
+    pub len: usize,
+}
+
+impl MultiplierCheck {
+    /// True when some prime divides a run at least `threshold` long —
+    /// the signature of a crude "multiply a genuine counter by k" forgery.
+    pub fn suspicious(&self, threshold: usize) -> bool {
+        self.longest_runs.iter().any(|&(_, run)| run >= threshold)
+    }
+
+    /// The prime with the longest divisible run, if any run is non-zero.
+    pub fn worst(&self) -> Option<(u64, usize)> {
+        self.longest_runs
+            .iter()
+            .copied()
+            .max_by_key(|&(_, run)| run)
+            .filter(|&(_, run)| run > 0)
+    }
+}
+
+/// Check whether any prime below 50 divides every element of a long run of
+/// the series (paper §3: "no sequences of any length had values which were
+/// all divisible by any prime less than 50").
+///
+/// Zero values are treated as divisible by everything (a zeroed counter is
+/// not evidence of forgery), so runs are broken only by a non-zero,
+/// non-divisible value.
+pub fn prime_multiplier_check(series: &[u64]) -> MultiplierCheck {
+    let mut longest_runs = Vec::with_capacity(PRIMES_BELOW_50.len());
+    for &p in &PRIMES_BELOW_50 {
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for &v in series {
+            if v % p == 0 {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        longest_runs.push((p, best));
+    }
+    MultiplierCheck {
+        longest_runs,
+        len: series.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5EED)
+    }
+
+    #[test]
+    fn white_detects_heteroskedasticity() {
+        // Variance grows with x — like genuine count data.
+        let mut r = rng();
+        let n = 300;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| {
+                let sd = 1.0 + 0.2 * xi;
+                2.0 + 0.5 * xi + sd * crate::dist::standard_normal_sample(&mut r)
+            })
+            .collect();
+        let res = white_test(&x, &y).unwrap();
+        assert!(res.reject_at(0.05), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn white_accepts_homoskedastic_data() {
+        let mut r = rng();
+        let n = 300;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| 2.0 + 0.5 * xi + 3.0 * crate::dist::standard_normal_sample(&mut r))
+            .collect();
+        let res = white_test(&x, &y).unwrap();
+        assert!(!res.reject_at(0.01), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn white_general_matches_single_on_one_regressor() {
+        let mut r = rng();
+        let n = 200;
+        let x: Vec<f64> = (0..n).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| 1.0 + 2.0 * xi + (1.0 + xi) * crate::dist::standard_normal_sample(&mut r))
+            .collect();
+        let a = white_test(&x, &y).unwrap();
+        let b = white_test_general(std::slice::from_ref(&x), &y).unwrap();
+        assert!((a.statistic - b.statistic).abs() < 1e-8);
+        assert_eq!(a.df, b.df);
+    }
+
+    #[test]
+    fn white_too_short_returns_none() {
+        assert!(white_test(&[1.0, 2.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn k2_accepts_normal_data() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..500)
+            .map(|_| 10.0 + 2.0 * crate::dist::standard_normal_sample(&mut r))
+            .collect();
+        let res = dagostino_k2(&xs).unwrap();
+        assert!(!res.reject_at(0.01), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn k2_rejects_uniform_data() {
+        // Uniform data has strongly negative excess kurtosis; the paper's
+        // forgery scenario ("faking with random data would produce uniform
+        // distributions") should be flagged.
+        let mut r = rng();
+        let xs: Vec<f64> = (0..500).map(|_| r.gen::<f64>() * 100.0).collect();
+        let res = dagostino_k2(&xs).unwrap();
+        assert!(res.reject_at(0.05), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn k2_rejects_exponential_data() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..400).map(|_| -(r.gen::<f64>().max(1e-12)).ln()).collect();
+        let res = dagostino_k2(&xs).unwrap();
+        assert!(res.reject_at(0.05));
+    }
+
+    #[test]
+    fn jarque_bera_agrees_with_k2_direction() {
+        let mut r = rng();
+        let normal: Vec<f64> = (0..400)
+            .map(|_| crate::dist::standard_normal_sample(&mut r))
+            .collect();
+        let uniform: Vec<f64> = (0..400).map(|_| r.gen::<f64>()).collect();
+        assert!(!jarque_bera(&normal).unwrap().reject_at(0.01));
+        assert!(jarque_bera(&uniform).unwrap().reject_at(0.05));
+    }
+
+    #[test]
+    fn ljung_box_detects_autocorrelation() {
+        // AR(1) with phi = 0.8.
+        let mut r = rng();
+        let mut xs = vec![0.0f64; 400];
+        for i in 1..400 {
+            xs[i] = 0.8 * xs[i - 1] + crate::dist::standard_normal_sample(&mut r);
+        }
+        let res = ljung_box(&xs, 10).unwrap();
+        assert!(res.reject_at(0.001));
+    }
+
+    #[test]
+    fn ljung_box_accepts_white_noise() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..400)
+            .map(|_| crate::dist::standard_normal_sample(&mut r))
+            .collect();
+        let res = ljung_box(&xs, 10).unwrap();
+        assert!(!res.reject_at(0.01), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn ks_accepts_correct_distribution() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..500).map(|_| r.gen::<f64>()).collect();
+        let res = ks_test(&xs, |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!(!res.reject_at(0.01), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn ks_rejects_wrong_distribution() {
+        let mut r = rng();
+        // Squared uniforms against the uniform CDF.
+        let xs: Vec<f64> = (0..500).map(|_| r.gen::<f64>().powi(2)).collect();
+        let res = ks_test(&xs, |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!(res.reject_at(0.001), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn ks_validates_normal_sampler() {
+        // The KS test closes the loop on our own normal sampler + CDF.
+        let mut r = rng();
+        let xs: Vec<f64> = (0..800)
+            .map(|_| crate::dist::standard_normal_sample(&mut r))
+            .collect();
+        let n = crate::dist::Normal::standard();
+        let res = ks_test(&xs, |x| n.cdf(x)).unwrap();
+        assert!(!res.reject_at(0.01), "p={}", res.p_value);
+    }
+
+    #[test]
+    fn ks_two_sample_same_and_different() {
+        let mut r = rng();
+        let a: Vec<f64> = (0..400).map(|_| crate::dist::standard_normal_sample(&mut r)).collect();
+        let b: Vec<f64> = (0..400).map(|_| crate::dist::standard_normal_sample(&mut r)).collect();
+        let same = ks_two_sample(&a, &b).unwrap();
+        assert!(!same.reject_at(0.01), "p={}", same.p_value);
+        let c: Vec<f64> = (0..400)
+            .map(|_| 1.0 + crate::dist::standard_normal_sample(&mut r))
+            .collect();
+        let diff = ks_two_sample(&a, &c).unwrap();
+        assert!(diff.reject_at(0.001), "p={}", diff.p_value);
+    }
+
+    #[test]
+    fn ks_too_short_returns_none() {
+        assert!(ks_test(&[1.0, 2.0], |x| x).is_none());
+        assert!(ks_two_sample(&[1.0; 3], &[1.0; 10]).is_none());
+    }
+
+    #[test]
+    fn multiplier_check_flags_scaled_series() {
+        // A counter multiplied by 7: every value divisible by 7.
+        let series: Vec<u64> = (1..50).map(|i| i * 7).collect();
+        let check = prime_multiplier_check(&series);
+        assert!(check.suspicious(20));
+        assert_eq!(check.worst().unwrap().0 % 7, 0);
+    }
+
+    #[test]
+    fn multiplier_check_passes_genuine_series() {
+        // Odd/even mixed increments: no prime divides long runs.
+        let mut r = rng();
+        let mut total = 1_000u64;
+        let series: Vec<u64> = (0..100)
+            .map(|_| {
+                total += r.gen_range(10..200);
+                total
+            })
+            .collect();
+        let check = prime_multiplier_check(&series);
+        // Runs of divisibility by 2 happen by chance but stay short.
+        assert!(!check.suspicious(15), "worst={:?}", check.worst());
+    }
+
+    #[test]
+    fn multiplier_check_zero_values_do_not_break_runs() {
+        let series = [14u64, 0, 21, 28];
+        let check = prime_multiplier_check(&series);
+        let seven = check.longest_runs.iter().find(|&&(p, _)| p == 7).unwrap();
+        assert_eq!(seven.1, 4);
+    }
+
+    #[test]
+    fn test_result_reject_levels() {
+        let t = TestResult {
+            statistic: 5.0,
+            df: 2.0,
+            p_value: 0.03,
+        };
+        assert!(t.reject_at(0.05));
+        assert!(!t.reject_at(0.01));
+    }
+}

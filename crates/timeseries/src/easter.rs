@@ -1,0 +1,102 @@
+//! Gregorian Easter computus.
+//!
+//! The paper includes an Easter dummy in the seasonal model because booting
+//! is strongly linked to school holidays and "the date of Easter is not
+//! fixed". We implement the Meeus/Jones/Butcher algorithm, which is exact
+//! for all Gregorian years.
+
+use crate::date::Date;
+
+/// Date of (Western) Easter Sunday for the given Gregorian year.
+pub fn easter_sunday(year: i32) -> Date {
+    let a = year % 19;
+    let b = year / 100;
+    let c = year % 100;
+    let d = b / 4;
+    let e = b % 4;
+    let f = (b + 8) / 25;
+    let g = (b - f + 1) / 3;
+    let h = (19 * a + b - d - g + 15) % 30;
+    let i = c / 4;
+    let k = c % 4;
+    let l = (32 + 2 * e + 2 * i - h - k) % 7;
+    let m = (a + 11 * h + 22 * l) / 451;
+    let month = (h + l - 7 * m + 114) / 31;
+    let day = ((h + l - 7 * m + 114) % 31) + 1;
+    Date::new(year, month as u8, day as u8)
+}
+
+/// True when `date` falls within the Easter school-holiday window:
+/// the `days_before`..`days_after` span around Easter Sunday.
+///
+/// UK school Easter holidays typically cover about two weeks around the
+/// Easter weekend; the model's default window is 7 days before to 7 days
+/// after.
+pub fn in_easter_window(date: Date, days_before: i64, days_after: i64) -> bool {
+    let easter = easter_sunday(date.year());
+    let delta = date.days_since(easter);
+    delta >= -days_before && delta <= days_after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Weekday;
+
+    #[test]
+    fn known_easter_dates() {
+        // Reference dates from the standard computus tables.
+        assert_eq!(easter_sunday(2014), Date::new(2014, 4, 20));
+        assert_eq!(easter_sunday(2015), Date::new(2015, 4, 5));
+        assert_eq!(easter_sunday(2016), Date::new(2016, 3, 27));
+        assert_eq!(easter_sunday(2017), Date::new(2017, 4, 16));
+        assert_eq!(easter_sunday(2018), Date::new(2018, 4, 1));
+        assert_eq!(easter_sunday(2019), Date::new(2019, 4, 21));
+        assert_eq!(easter_sunday(2000), Date::new(2000, 4, 23));
+        assert_eq!(easter_sunday(1900), Date::new(1900, 4, 15));
+        assert_eq!(easter_sunday(2038), Date::new(2038, 4, 25)); // latest possible
+        assert_eq!(easter_sunday(2285), Date::new(2285, 3, 22)); // earliest possible
+    }
+
+    #[test]
+    fn easter_is_always_sunday() {
+        for year in 1900..2100 {
+            assert_eq!(
+                easter_sunday(year).weekday(),
+                Weekday::Sunday,
+                "easter {year} not a Sunday"
+            );
+        }
+    }
+
+    #[test]
+    fn easter_is_always_in_march_or_april() {
+        for year in 1900..2100 {
+            let e = easter_sunday(year);
+            assert!(e.month() == 3 || e.month() == 4, "easter {year} in month {}", e.month());
+            if e.month() == 3 {
+                assert!(e.day() >= 22);
+            } else {
+                assert!(e.day() <= 25);
+            }
+        }
+    }
+
+    #[test]
+    fn window_contains_easter_weekend() {
+        let e = easter_sunday(2018); // 2018-04-01
+        assert!(in_easter_window(e, 7, 7));
+        assert!(in_easter_window(e.add_days(-7), 7, 7));
+        assert!(in_easter_window(e.add_days(7), 7, 7));
+        assert!(!in_easter_window(e.add_days(-8), 7, 7));
+        assert!(!in_easter_window(e.add_days(8), 7, 7));
+    }
+
+    #[test]
+    fn window_moves_with_easter() {
+        // 2016 Easter was in March; a mid-April date is outside its window
+        // but inside the 2017 window (Easter 2017-04-16).
+        assert!(!in_easter_window(Date::new(2016, 4, 16), 7, 7));
+        assert!(in_easter_window(Date::new(2017, 4, 16), 7, 7));
+    }
+}

@@ -1,0 +1,121 @@
+//! Index rebasing and simple trend fitting for Figure 5.
+//!
+//! Figure 5 plots US and UK attack counts "scaled so both start at 100 in
+//! June 2016, with 200 representing a doubling", and quotes OLS slopes of
+//! the two series before and during the NCA advertising campaign.
+
+use crate::date::Date;
+use crate::series::WeeklySeries;
+
+/// Rebase a series to `base` (conventionally 100) at week `origin`.
+///
+/// Uses the mean of the first `smooth_weeks` weeks as the denominator so a
+/// noisy single origin week does not distort the whole index. Returns
+/// `None` if the origin is outside the series or the base level is zero.
+pub fn rebase(
+    series: &WeeklySeries,
+    origin: Date,
+    base: f64,
+    smooth_weeks: usize,
+) -> Option<WeeklySeries> {
+    let i = series.index_of(origin)?;
+    let k = smooth_weeks.max(1).min(series.len() - i);
+    let level: f64 = series.values()[i..i + k].iter().sum::<f64>() / k as f64;
+    if level <= 0.0 {
+        return None;
+    }
+    Some(series.map(|v| v / level * base))
+}
+
+/// Simple OLS slope (per week) of a series over `[from, to)`.
+///
+/// This is the statistic the paper quotes for Figure 5: "the UK and US
+/// linear trends from the period Jan 2017 until Dec 2017 had slopes of 3.2
+/// and 5.3". Returns `None` if the window leaves fewer than 3 weeks.
+pub fn linear_slope(series: &WeeklySeries, from: Date, to: Date) -> Option<f64> {
+    let w = series.window(from, to)?;
+    let n = w.len();
+    if n < 3 {
+        return None;
+    }
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let ys = w.values();
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    Some(sxy / sxx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monday() -> Date {
+        Date::new(2016, 6, 6)
+    }
+
+    #[test]
+    fn rebase_sets_origin_to_base() {
+        let s = WeeklySeries::from_values(monday(), vec![50.0, 60.0, 75.0, 100.0]);
+        let r = rebase(&s, monday(), 100.0, 1).unwrap();
+        assert_eq!(r.get(0), 100.0);
+        assert_eq!(r.get(3), 200.0); // doubling maps to 200
+    }
+
+    #[test]
+    fn rebase_with_smoothing_uses_mean_level() {
+        let s = WeeklySeries::from_values(monday(), vec![40.0, 60.0, 50.0, 100.0]);
+        let r = rebase(&s, monday(), 100.0, 2).unwrap(); // mean(40,60) = 50
+        assert_eq!(r.get(0), 80.0);
+        assert_eq!(r.get(3), 200.0);
+    }
+
+    #[test]
+    fn rebase_zero_level_fails() {
+        let s = WeeklySeries::from_values(monday(), vec![0.0, 1.0]);
+        assert!(rebase(&s, monday(), 100.0, 1).is_none());
+    }
+
+    #[test]
+    fn rebase_origin_outside_fails() {
+        let s = WeeklySeries::from_values(monday(), vec![1.0, 2.0]);
+        assert!(rebase(&s, Date::new(2020, 1, 1), 100.0, 1).is_none());
+    }
+
+    #[test]
+    fn linear_slope_exact_line() {
+        let vals: Vec<f64> = (0..20).map(|i| 10.0 + 3.2 * i as f64).collect();
+        let s = WeeklySeries::from_values(monday(), vals);
+        let slope = linear_slope(&s, monday(), monday().add_days(7 * 20)).unwrap();
+        assert!((slope - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_slope_flat_series_is_zero() {
+        let s = WeeklySeries::from_values(monday(), vec![7.0; 10]);
+        let slope = linear_slope(&s, monday(), monday().add_days(70)).unwrap();
+        assert!(slope.abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_slope_subwindow() {
+        // Flat then rising: slope over the rising window only.
+        let mut vals = vec![5.0; 10];
+        vals.extend((0..10).map(|i| 5.0 + 2.0 * i as f64));
+        let s = WeeklySeries::from_values(monday(), vals);
+        let from = monday().add_days(70);
+        let to = monday().add_days(140);
+        let slope = linear_slope(&s, from, to).unwrap();
+        assert!((slope - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_slope_too_short_is_none() {
+        let s = WeeklySeries::from_values(monday(), vec![1.0, 2.0]);
+        assert!(linear_slope(&s, monday(), monday().add_days(14)).is_none());
+    }
+}

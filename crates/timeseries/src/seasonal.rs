@@ -1,0 +1,122 @@
+//! Seasonal encoding: month-of-year dummies and the Easter indicator.
+//!
+//! The paper "model[s] seasonality over twelve one-month periods, for which
+//! we need eleven seasonal variables" — month 1 (January) is the reference
+//! level, so dummies cover months 2..=12. A separate Easter component
+//! captures the moving school-holiday effect.
+
+use crate::date::Date;
+use crate::easter::in_easter_window;
+use crate::series::WeeklySeries;
+
+/// Month (2..=12) dummy value for the week starting at `monday`:
+/// 1.0 when the week's Monday falls in `month`, else 0.0.
+pub fn month_dummy(monday: Date, month: u8) -> f64 {
+    debug_assert!((2..=12).contains(&month), "seasonal dummies cover months 2..=12");
+    if monday.month() == month {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// The 11 seasonal dummy values (months 2..=12) for one week.
+pub fn seasonal_row(monday: Date) -> [f64; 11] {
+    let mut row = [0.0; 11];
+    let m = monday.month();
+    if m >= 2 {
+        row[(m - 2) as usize] = 1.0;
+    }
+    row
+}
+
+/// Easter dummy for one week: 1.0 when any day of the week (Mon..Sun)
+/// falls inside the Easter holiday window.
+pub fn easter_dummy(monday: Date, days_before: i64, days_after: i64) -> f64 {
+    for off in 0..7 {
+        if in_easter_window(monday.add_days(off), days_before, days_after) {
+            return 1.0;
+        }
+    }
+    0.0
+}
+
+/// All seasonal columns for a weekly series: 11 month dummies then Easter.
+///
+/// Returns columns in model order `seasonal_2 ... seasonal_12, easter`.
+pub fn seasonal_columns(series: &WeeklySeries, easter_window: (i64, i64)) -> Vec<Vec<f64>> {
+    let n = series.len();
+    let mut cols: Vec<Vec<f64>> = vec![vec![0.0; n]; 12];
+    for i in 0..n {
+        let monday = series.week_date(i);
+        let row = seasonal_row(monday);
+        for (j, &v) in row.iter().enumerate() {
+            cols[j][i] = v;
+        }
+        cols[11][i] = easter_dummy(monday, easter_window.0, easter_window.1);
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn january_is_reference_level() {
+        let jan = Date::new(2018, 1, 1);
+        assert_eq!(seasonal_row(jan), [0.0; 11]);
+    }
+
+    #[test]
+    fn each_month_sets_one_dummy() {
+        for m in 2..=12u8 {
+            let d = Date::new(2018, m, 5).week_start();
+            // week_start may move into the previous month at boundaries, so
+            // use a mid-month date whose Monday is still in the month.
+            let d = if d.month() == m { d } else { Date::new(2018, m, 14).week_start() };
+            let row = seasonal_row(d);
+            let ones: Vec<usize> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v == 1.0)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(ones, vec![(m - 2) as usize], "month {m}");
+        }
+    }
+
+    #[test]
+    fn month_dummy_matches_row() {
+        let d = Date::new(2018, 7, 9);
+        assert_eq!(month_dummy(d, 7), 1.0);
+        assert_eq!(month_dummy(d, 8), 0.0);
+    }
+
+    #[test]
+    fn easter_dummy_flags_weeks_near_easter() {
+        // Easter 2018 = April 1. Week of Mar 26 contains it.
+        assert_eq!(easter_dummy(Date::new(2018, 3, 26), 7, 7), 1.0);
+        assert_eq!(easter_dummy(Date::new(2018, 3, 19), 7, 7), 1.0); // window start Mar 25
+        assert_eq!(easter_dummy(Date::new(2018, 3, 12), 7, 7), 0.0);
+        assert_eq!(easter_dummy(Date::new(2018, 4, 9), 7, 7), 0.0);
+    }
+
+    #[test]
+    fn seasonal_columns_shapes_and_coverage() {
+        let s = WeeklySeries::zeros(Date::new(2018, 1, 1), 52);
+        let cols = seasonal_columns(&s, (7, 7));
+        assert_eq!(cols.len(), 12);
+        assert!(cols.iter().all(|c| c.len() == 52));
+        // Every week has at most one month dummy set.
+        for i in 0..52 {
+            let active: f64 = cols[..11].iter().map(|c| c[i]).sum();
+            assert!(active <= 1.0);
+        }
+        // The Easter column is non-empty in a 52-week year.
+        assert!(cols[11].iter().sum::<f64>() >= 2.0);
+        // Roughly one twelfth of weeks in each month dummy.
+        let june: f64 = cols[4].iter().sum();
+        assert!((3.0..=5.0).contains(&june));
+    }
+}

@@ -1,0 +1,118 @@
+//! Smoothing utilities for noisy weekly series.
+//!
+//! The paper works with weekly totals precisely because daily counts
+//! "showed a high degree of volatility"; these helpers smooth further for
+//! presentation (figure overlays) and for robust level comparisons.
+
+use crate::series::WeeklySeries;
+
+/// Centred moving average with window `2k+1`; edges use the available
+/// partial window. `k = 0` returns the series unchanged.
+pub fn moving_average(series: &WeeklySeries, k: usize) -> WeeklySeries {
+    let n = series.len();
+    let mut out = series.clone();
+    if k == 0 || n == 0 {
+        return out;
+    }
+    for i in 0..n {
+        let lo = i.saturating_sub(k);
+        let hi = (i + k).min(n - 1);
+        let sum: f64 = (lo..=hi).map(|j| series.get(j)).sum();
+        out.set(i, sum / (hi - lo + 1) as f64);
+    }
+    out
+}
+
+/// Simple exponential smoothing with factor `alpha` in (0, 1]:
+/// sₜ = α·xₜ + (1−α)·sₜ₋₁, s₀ = x₀.
+pub fn exponential_smoothing(series: &WeeklySeries, alpha: f64) -> WeeklySeries {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha={alpha} outside (0,1]");
+    let mut out = series.clone();
+    if series.is_empty() {
+        return out;
+    }
+    let mut s = series.get(0);
+    for i in 0..series.len() {
+        s = alpha * series.get(i) + (1.0 - alpha) * s;
+        out.set(i, s);
+    }
+    out
+}
+
+/// Rolling mean level over trailing `window` weeks (for robust level
+/// comparisons like the Figure 5 ratio baselines).
+pub fn trailing_mean(series: &WeeklySeries, window: usize) -> WeeklySeries {
+    let n = series.len();
+    let mut out = series.clone();
+    let w = window.max(1);
+    for i in 0..n {
+        let lo = (i + 1).saturating_sub(w);
+        let sum: f64 = (lo..=i).map(|j| series.get(j)).sum();
+        out.set(i, sum / (i - lo + 1) as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Date;
+
+    fn series(vals: Vec<f64>) -> WeeklySeries {
+        WeeklySeries::from_values(Date::new(2018, 1, 1), vals)
+    }
+
+    #[test]
+    fn moving_average_flattens_spikes() {
+        let s = series(vec![1.0, 1.0, 10.0, 1.0, 1.0]);
+        let m = moving_average(&s, 1);
+        assert_eq!(m.get(2), 4.0); // (1+10+1)/3
+        assert_eq!(m.get(0), 1.0); // edge: (1+1)/2 = 1
+        assert_eq!(m.len(), s.len());
+    }
+
+    #[test]
+    fn moving_average_k0_is_identity() {
+        let s = series(vec![3.0, 1.0, 4.0]);
+        assert_eq!(moving_average(&s, 0).values(), s.values());
+    }
+
+    #[test]
+    fn moving_average_preserves_constant_series() {
+        let s = series(vec![7.0; 10]);
+        let m = moving_average(&s, 3);
+        assert!(m.values().iter().all(|&v| (v - 7.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn exponential_smoothing_converges_to_level() {
+        let s = series(vec![10.0; 20]);
+        let e = exponential_smoothing(&s, 0.3);
+        assert!((e.get(19) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_smoothing_lags_steps() {
+        let mut vals = vec![0.0; 10];
+        vals.extend(vec![10.0; 10]);
+        let s = series(vals);
+        let e = exponential_smoothing(&s, 0.5);
+        assert!(e.get(10) < 10.0);
+        assert!(e.get(19) > 9.5);
+    }
+
+    #[test]
+    fn trailing_mean_uses_only_past() {
+        let s = series(vec![1.0, 2.0, 3.0, 4.0]);
+        let t = trailing_mean(&s, 2);
+        assert_eq!(t.get(0), 1.0);
+        assert_eq!(t.get(1), 1.5);
+        assert_eq!(t.get(3), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn exponential_smoothing_rejects_bad_alpha() {
+        exponential_smoothing(&series(vec![1.0]), 0.0);
+    }
+}

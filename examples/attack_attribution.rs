@@ -1,0 +1,85 @@
+//! Attack attribution à la Krupp et al. (RAID 2017, cited in the paper's
+//! related work): buy a few attacks from each booter to learn its
+//! transmission fingerprint (honeypot set, TTL, source-port entropy),
+//! then attribute wild flows with a k-NN classifier.
+//!
+//! Run with `cargo run --release --example attack_attribution`.
+
+use booting_the_booters::netsim::attribution::{
+    BooterFingerprint, FlowFeatures, KnnAttributor,
+};
+use booting_the_booters::netsim::{
+    AttackCommand, Engine, EngineConfig, UdpProtocol, VictimAddr,
+};
+
+fn command(booter: u32, i: u64, protocol: UdpProtocol) -> AttackCommand {
+    AttackCommand {
+        time: i * 4_000,
+        victim: VictimAddr::from_octets(25, (i % 200) as u8 + 1, (i / 200) as u8, 9),
+        protocol,
+        duration_secs: 300,
+        packets_per_second: 60_000,
+        booter,
+        avoids_honeypots: false,
+    }
+}
+
+fn main() {
+    let mut engine = Engine::new(EngineConfig::default());
+    let booters: Vec<u32> = (0..10).collect();
+
+    println!("booter fingerprints (stable per operator):");
+    for &b in &booters {
+        let fp = BooterFingerprint::for_booter(b);
+        println!(
+            "  booter {b}: initial TTL {}, {} hops, source ports {}",
+            fp.initial_ttl,
+            fp.hops,
+            match fp.fixed_port {
+                Some(p) => format!("fixed ({p})"),
+                None => "randomised".to_string(),
+            }
+        );
+    }
+
+    // Training: three "purchased" attacks per booter (we ran them, so the
+    // label is ground truth — Krupp et al.'s methodology).
+    let mut attributor = KnnAttributor::new();
+    let mut i = 0u64;
+    for &b in &booters {
+        for p in [UdpProtocol::Ldap, UdpProtocol::Ntp, UdpProtocol::Dns] {
+            let packets = engine.simulate_attack_packets(&command(b, i, p));
+            i += 1;
+            if let Some(f) = FlowFeatures::from_packets(&packets) {
+                attributor.train(f, b);
+            }
+        }
+    }
+    println!("\ntrained on {} purchased attacks", attributor.training_size());
+
+    // Wild traffic: attribute 10 fresh attacks per booter.
+    let mut correct = 0;
+    let mut attributed = 0;
+    let mut total = 0;
+    for &b in &booters {
+        for _ in 0..10 {
+            let packets = engine.simulate_attack_packets(&command(b, i, UdpProtocol::Ldap));
+            i += 1;
+            total += 1;
+            let Some(f) = FlowFeatures::from_packets(&packets) else {
+                continue;
+            };
+            if let Some(a) = attributor.attribute(&f, 3, 0.67) {
+                attributed += 1;
+                if a.booter == b {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    let precision = 100.0 * correct as f64 / attributed.max(1) as f64;
+    let recall = 100.0 * attributed as f64 / total.max(1) as f64;
+    println!("\nattributed {attributed}/{total} wild attacks");
+    println!("precision {precision:.1}%   recall {recall:.1}%");
+    println!("(Krupp et al. report 99% precision / 69% recall on real booters)");
+}

@@ -1,0 +1,85 @@
+//! Honeypot measurement chain, packet by packet.
+//!
+//! Demonstrates the full netsim substrate on its own: booter scans
+//! discover reflectors (honeypots answer eagerly, white-hats get
+//! silence), attacks spray spoofed packets, sensors rate-limit and report
+//! victims fleet-wide, and the paper's 15-minute-gap flow grouper
+//! classifies the logs into attacks and scans. Ends with the footnote-1
+//! style per-protocol coverage report.
+//!
+//! Run with `cargo run --release --example honeypot_coverage`.
+
+use booting_the_booters::netsim::coverage::CoverageReport;
+use booting_the_booters::netsim::flow::{classify_flows, FlowClass};
+use booting_the_booters::netsim::{
+    AttackCommand, Engine, EngineConfig, UdpProtocol, VictimAddr,
+};
+
+fn main() {
+    let mut engine = Engine::new(EngineConfig::default());
+
+    // One attack, end to end.
+    let cmd = AttackCommand {
+        time: 3_600,
+        victim: VictimAddr::from_octets(25, 10, 20, 30),
+        protocol: UdpProtocol::Ldap,
+        duration_secs: 240,
+        packets_per_second: 60_000,
+        booter: 1,
+        avoids_honeypots: false,
+    };
+    let packets = engine.simulate_attack_packets(&cmd);
+    println!(
+        "attack on {} via {}: {} packets logged across sensors",
+        cmd.victim,
+        cmd.protocol,
+        packets.len()
+    );
+    let flows = classify_flows(&packets);
+    for (flow, class) in &flows {
+        println!(
+            "  flow {} {}: {} packets, max {} on one sensor, {:?}",
+            flow.victim,
+            flow.protocol,
+            flow.total_packets,
+            flow.max_sensor_packets(),
+            class
+        );
+    }
+    assert!(flows.iter().any(|(_, c)| *c == FlowClass::Attack));
+
+    // Scan noise stays classified as scans.
+    let noise = engine.scan_noise(10_000, 60_000, 40);
+    let noise_flows = classify_flows(&noise);
+    let scans = noise_flows.iter().filter(|(_, c)| *c == FlowClass::Scan).count();
+    println!(
+        "\nbackground scan noise: {} flows, {} classified as scans",
+        noise_flows.len(),
+        scans
+    );
+
+    // Footnote-1 coverage: honest vs honeypot-avoiding booters.
+    let mut commands = Vec::new();
+    for (i, &p) in UdpProtocol::ALL.iter().enumerate() {
+        for k in 0..60u64 {
+            commands.push(AttackCommand {
+                time: 100_000 + k * 700_000,
+                victim: VictimAddr::from_octets(25, 1, (k % 250) as u8, i as u8),
+                protocol: p,
+                duration_secs: 300,
+                packets_per_second: 50_000,
+                booter: 100 + i as u32,
+                // One avoiding booter per protocol pair, like vDOS' 'SUDP'.
+                avoids_honeypots: i % 5 == 4,
+            });
+        }
+    }
+    let report = CoverageReport::from_commands(&mut engine, &commands);
+    println!("\nper-protocol dataset coverage (cf. paper footnote 1):");
+    println!("{}", report.render());
+    println!(
+        "sensor fleet absorbed {:.0}% of attack packets (ethics appendix: the\n\
+         sensors are net-protective because they absorb rather than amplify)",
+        100.0 * engine.fleet().absorption_ratio()
+    );
+}

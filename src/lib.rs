@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # booting-the-booters
+//!
+//! A from-scratch Rust reproduction of *Booting the Booters: Evaluating
+//! the Effects of Police Interventions in the Market for Denial-of-Service
+//! Attacks* (Collier, Thomas, Clayton & Hutchings, IMC 2019).
+//!
+//! The paper measured how takedowns, arrests, sentencing publicity and a
+//! targeted advertising campaign affected the DDoS-for-hire ("booter")
+//! market, using a proprietary five-year honeypot trace and weekly scrapes
+//! of booter self-report counters. This workspace rebuilds the entire
+//! measurement and analysis chain:
+//!
+//! | crate | what it provides |
+//! |---|---|
+//! | [`linalg`] | dense matrix kernel (Cholesky/LU/QR) |
+//! | [`stats`] | special functions, distributions, hypothesis tests |
+//! | [`timeseries`] | civil dates, Easter computus, weekly series, ITS designs |
+//! | [`glm`] | OLS, Poisson and NB2 regression with full inference |
+//! | [`netsim`] | packet-level UDP reflection + hopscotch honeypot simulator |
+//! | [`market`] | agent-based booter market with the §2 intervention timeline |
+//! | [`core`] | scenario runner, datasets, the §4 pipeline, table/figure renderers |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use booting_the_booters::core::scenario::{Fidelity, Scenario, ScenarioConfig};
+//! use booting_the_booters::core::pipeline::{fit_global, PipelineConfig};
+//! use booting_the_booters::core::report::table1;
+//! use booting_the_booters::market::calibration::Calibration;
+//!
+//! let scenario = Scenario::run(ScenarioConfig::default());
+//! let fit = fit_global(
+//!     &scenario.honeypot,
+//!     &Calibration::default(),
+//!     &PipelineConfig::default(),
+//! )
+//! .expect("model converges");
+//! println!("{}", table1(&fit));
+//! ```
+
+pub use booters_core as core;
+pub use booters_glm as glm;
+pub use booters_linalg as linalg;
+pub use booters_market as market;
+pub use booters_netsim as netsim;
+pub use booters_stats as stats;
+pub use booters_timeseries as timeseries;

@@ -1,0 +1,217 @@
+//! End-to-end integration: packet-level market simulation through the
+//! full §4 analysis pipeline, asserting the paper's headline findings
+//! reproduce from raw simulated data.
+
+use booting_the_booters::core::pipeline::{
+    fit_country, fit_global, PipelineConfig,
+};
+use booting_the_booters::core::report::{
+    fig1_csv, fig2_csv, fig4_table, fig5_csv, fig6_csv, fig7_csv, fig8_csv, table1, table2,
+    table3,
+};
+use booting_the_booters::core::scenario::{Fidelity, Scenario, ScenarioConfig};
+use booting_the_booters::core::verify::{cross_dataset_correlation, validate_top_booters};
+use booting_the_booters::market::calibration::Calibration;
+use booting_the_booters::market::market::MarketConfig;
+use booting_the_booters::netsim::{Country, UdpProtocol};
+use booting_the_booters::timeseries::Date;
+use std::sync::OnceLock;
+
+/// One shared scenario for the whole integration suite (runs once).
+fn scenario() -> &'static Scenario {
+    static SCENARIO: OnceLock<Scenario> = OnceLock::new();
+    SCENARIO.get_or_init(|| {
+        Scenario::run(ScenarioConfig {
+            market: MarketConfig {
+                scale: 0.05,
+                seed: 20_190_521,
+                ..MarketConfig::default()
+            },
+            fidelity: Fidelity::Aggregate,
+            ..ScenarioConfig::default()
+        })
+    })
+}
+
+#[test]
+fn headline_result_xmas2018_reduction() {
+    // The paper's abstract: the FBI's December 2018 operation "reduced
+    // attacks by a third for at least 10 weeks".
+    let cal = Calibration::default();
+    let fit = fit_global(&scenario().honeypot, &cal, &PipelineConfig::default()).unwrap();
+    let xmas = fit
+        .intervention_effects()
+        .into_iter()
+        .find(|e| e.name == "Xmas 2018 event")
+        .unwrap();
+    assert!(xmas.significant(), "p={}", xmas.p_value);
+    assert!(
+        xmas.mean_pct < -20.0 && xmas.mean_pct > -45.0,
+        "Xmas2018 effect {}% (paper: -32%)",
+        xmas.mean_pct
+    );
+    assert_eq!(xmas.duration_weeks, 10);
+}
+
+#[test]
+fn headline_result_hackforums_13_weeks() {
+    // "The closure of HackForums' booter market reduced attacks for 13
+    // weeks globally".
+    let cal = Calibration::default();
+    let fit = fit_global(&scenario().honeypot, &cal, &PipelineConfig::default()).unwrap();
+    let hf = fit
+        .intervention_effects()
+        .into_iter()
+        .find(|e| e.name.contains("Hackforums"))
+        .unwrap();
+    assert!(hf.significant());
+    assert!(hf.mean_pct < -20.0, "HackForums effect {}%", hf.mean_pct);
+    assert_eq!(hf.duration_weeks, 13);
+}
+
+#[test]
+fn trend_and_dispersion_recover() {
+    let cal = Calibration::default();
+    let fit = fit_global(&scenario().honeypot, &cal, &PipelineConfig::default()).unwrap();
+    let trend = fit.fit.inference.coef("time").unwrap();
+    assert!((trend.coef - 0.0095).abs() < 0.002, "trend={}", trend.coef);
+    let (_, p) = fit.fit.overdispersion_lr();
+    assert!(p < 1e-10, "overdispersion must be decisive, p={p}");
+}
+
+#[test]
+fn country_heterogeneity_matches_table2() {
+    let cal = Calibration::default();
+    let cfg = PipelineConfig::default();
+    let ds = &scenario().honeypot;
+
+    // US Xmas2018 strong; FR null; NL Webstresser positive (reprisal).
+    let us = fit_country(ds, &cal, Country::Us, &cfg).unwrap();
+    let us_xmas = us
+        .model
+        .intervention_effects()
+        .into_iter()
+        .find(|e| e.name == "Xmas 2018 event")
+        .unwrap();
+    assert!(us_xmas.mean_pct < -35.0, "US Xmas {}% (paper -49%)", us_xmas.mean_pct);
+
+    let fr = fit_country(ds, &cal, Country::Fr, &cfg).unwrap();
+    let fr_xmas = fr
+        .model
+        .intervention_effects()
+        .into_iter()
+        .find(|e| e.name == "Xmas 2018 event")
+        .unwrap();
+    assert!(
+        !fr_xmas.significant() || fr_xmas.mean_pct.abs() < 12.0,
+        "FR Xmas {}% p={} (paper: -1%, n.s.)",
+        fr_xmas.mean_pct,
+        fr_xmas.p_value
+    );
+
+    let nl = fit_country(ds, &cal, Country::Nl, &cfg).unwrap();
+    let nl_wb = nl
+        .model
+        .intervention_effects()
+        .into_iter()
+        .find(|e| e.name == "Webstresser takedown")
+        .unwrap();
+    assert!(nl_wb.significant());
+    assert!(nl_wb.mean_pct > 80.0, "NL reprisal {}% (paper +146%)", nl_wb.mean_pct);
+}
+
+#[test]
+fn china_stands_apart() {
+    let t = fig4_table(
+        &scenario().honeypot,
+        Date::new(2016, 6, 6),
+        Date::new(2019, 4, 1),
+    );
+    let cn = t.mean_abs_correlation("CN").unwrap();
+    for label in ["UK", "US", "FR", "DE", "PL"] {
+        let other = t.mean_abs_correlation(label).unwrap();
+        assert!(cn < other, "CN ({cn:.2}) should be least correlated; {label}={other:.2}");
+    }
+}
+
+#[test]
+fn ldap_drives_growth() {
+    // §4.2: "the steady rise ... appears to be largely driven by an
+    // increase in attacks using the LDAP protocol".
+    let ds = &scenario().honeypot;
+    let growth = |p: UdpProtocol| {
+        let early = ds
+            .protocol(p)
+            .window(Date::new(2017, 1, 2), Date::new(2017, 4, 3))
+            .unwrap()
+            .total();
+        let late = ds
+            .protocol(p)
+            .window(Date::new(2018, 9, 3), Date::new(2018, 12, 3))
+            .unwrap()
+            .total();
+        late - early
+    };
+    let ldap_growth = growth(UdpProtocol::Ldap);
+    for p in UdpProtocol::ALL {
+        if p != UdpProtocol::Ldap {
+            assert!(
+                ldap_growth > growth(p),
+                "LDAP growth {ldap_growth} should exceed {p} ({})",
+                growth(p)
+            );
+        }
+    }
+}
+
+#[test]
+fn self_report_dataset_validates_as_genuine() {
+    let validations = validate_top_booters(&scenario().selfreport, 10);
+    let fakes = validations.iter().filter(|v| v.looks_faked()).count();
+    assert!(fakes <= 2, "top-10 counters flagged as faked: {fakes}");
+    let r = cross_dataset_correlation(&scenario().honeypot, &scenario().selfreport).unwrap();
+    assert!(r > 0.3, "cross-dataset correlation {r} (paper: 0.47)");
+}
+
+#[test]
+fn market_concentrates_after_xmas2018() {
+    let sr = &scenario().selfreport;
+    let week_of = |d: Date| (d.week_start().days_since(sr.start) / 7) as usize;
+    let before = sr
+        .top_share(week_of(Date::new(2018, 9, 3)), week_of(Date::new(2018, 12, 10)))
+        .unwrap();
+    let after = sr
+        .top_share(week_of(Date::new(2019, 1, 7)), week_of(Date::new(2019, 3, 25)))
+        .unwrap();
+    assert!(after > before, "share before={before:.2} after={after:.2}");
+    assert!(after > 0.40, "post-Xmas top share {after:.2} (paper: ~60%)");
+}
+
+#[test]
+fn every_table_and_figure_renders() {
+    let cal = Calibration::default();
+    let cfg = PipelineConfig::default();
+    let s = scenario();
+    let g = fit_global(&s.honeypot, &cal, &cfg).unwrap();
+
+    assert!(table1(&g).contains("Xmas 2018 event"));
+    assert!(table2(&s.honeypot, &cal, &cfg).unwrap().contains("Overall"));
+    assert!(table3(&s.honeypot).contains("Feb-19"));
+    assert!(fig1_csv(&s.honeypot).lines().count() > 200);
+    assert!(fig2_csv(&g).lines().count() > 140);
+    assert!(fig4_table(&s.honeypot, Date::new(2016, 6, 6), Date::new(2019, 4, 1))
+        .render()
+        .contains("CN"));
+    let (f5, _) = fig5_csv(&s.honeypot);
+    assert!(f5.lines().count() > 200);
+    assert!(fig6_csv(&s.honeypot).contains("LDAP"));
+    assert!(fig7_csv(&s.selfreport, 70).lines().count() == 71);
+    assert!(fig8_csv(&s.selfreport).contains("deaths"));
+}
+
+#[test]
+fn webstresser_death_spike_visible() {
+    let sr = &scenario().selfreport;
+    let i = sr.deaths.index_of(Date::new(2018, 4, 23)).unwrap();
+    assert!(sr.deaths.get(i) >= 8.0, "webstresser-week deaths = {}", sr.deaths.get(i));
+}

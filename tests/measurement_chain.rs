@@ -1,0 +1,101 @@
+#![allow(clippy::field_reassign_with_default)]
+//! Integration tests of the measurement chain across crates: market
+//! commands → netsim packets → flow grouping → weekly counts, including
+//! agreement between the three observation fidelities.
+
+use booting_the_booters::core::scenario::{Fidelity, Scenario, ScenarioConfig};
+use booting_the_booters::market::calibration::Calibration;
+use booting_the_booters::market::commands::commands_for_week;
+use booting_the_booters::market::market::{MarketConfig, MarketSim};
+use booting_the_booters::netsim::flow::{classify_flows, FlowClass, FLOW_GAP_SECS};
+use booting_the_booters::netsim::{Engine, EngineConfig};
+use booting_the_booters::timeseries::Date;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn short_window_config(fidelity: Fidelity, seed: u64) -> ScenarioConfig {
+    let mut cal = Calibration::default();
+    cal.scenario_start = Date::new(2018, 9, 3);
+    cal.scenario_end = Date::new(2019, 1, 28);
+    ScenarioConfig {
+        market: MarketConfig {
+            calibration: cal,
+            scale: 0.01,
+            seed,
+            ..MarketConfig::default()
+        },
+        fidelity,
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn fidelities_agree_on_coverage() {
+    let agg = Scenario::run(short_window_config(Fidelity::Aggregate, 5));
+    let sam = Scenario::run(short_window_config(Fidelity::PacketSampled { per_week: 400 }, 5));
+    let ful = Scenario::run(short_window_config(Fidelity::FullPackets { per_week: 60 }, 5));
+    let rate = |s: &Scenario| s.honeypot.global.total() / s.ground_truth.global.total();
+    let (ra, rs, rf) = (rate(&agg), rate(&sam), rate(&ful));
+    assert!((ra - rs).abs() < 0.15, "aggregate={ra:.2} sampled={rs:.2}");
+    assert!((ra - rf).abs() < 0.25, "aggregate={ra:.2} full={rf:.2}");
+}
+
+#[test]
+fn packet_chain_recovers_commanded_attacks() {
+    // Every strong, honest command expands to packets that the flow
+    // grouper classifies back into exactly one attack per command victim.
+    let mut sim = MarketSim::new(MarketConfig {
+        scale: 0.002,
+        seed: 99,
+        ..MarketConfig::default()
+    });
+    let out = sim.step().unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let cmds = commands_for_week(&out, sim.population().booters(), &mut rng, 120);
+    let mut engine = Engine::new(EngineConfig::default());
+
+    let mut packets = Vec::new();
+    let mut honest = 0;
+    for c in &cmds {
+        if !c.avoids_honeypots {
+            honest += 1;
+        }
+        packets.extend(engine.simulate_attack_packets(c));
+    }
+    packets.sort_by_key(|p| p.time);
+    let flows = classify_flows(&packets);
+    let attacks = flows.iter().filter(|(_, c)| *c == FlowClass::Attack).count();
+    // Distinct victims ⇒ near-1:1 recovery for honest booters; collisions
+    // (same victim+protocol within 15 min) can merge a few flows.
+    assert!(
+        attacks as f64 >= 0.8 * honest as f64,
+        "recovered {attacks} attacks from {honest} honest commands"
+    );
+    assert!(attacks <= cmds.len(), "more attacks than commands");
+}
+
+#[test]
+fn flow_gap_constant_matches_paper() {
+    assert_eq!(FLOW_GAP_SECS, 900, "the paper's grouping gap is 15 minutes");
+}
+
+#[test]
+fn ground_truth_dominates_observation_everywhere() {
+    let s = Scenario::run(short_window_config(Fidelity::Aggregate, 13));
+    for i in 0..s.honeypot.global.len() {
+        assert!(s.honeypot.global.get(i) <= s.ground_truth.global.get(i) + 1e-9);
+        for c in 0..12 {
+            assert!(s.honeypot.by_country[c].get(i) <= s.ground_truth.by_country[c].get(i) + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn observation_noise_does_not_create_phantom_weeks() {
+    let s = Scenario::run(short_window_config(Fidelity::Aggregate, 21));
+    for i in 0..s.honeypot.global.len() {
+        if s.ground_truth.global.get(i) == 0.0 {
+            assert_eq!(s.honeypot.global.get(i), 0.0);
+        }
+    }
+}

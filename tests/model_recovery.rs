@@ -1,0 +1,149 @@
+#![allow(clippy::field_reassign_with_default)]
+//! Statistical recovery integration tests: the GLM stack against the
+//! market simulator's known data-generating process, including coverage
+//! properties of the confidence intervals across seeds.
+
+use booting_the_booters::glm::inference::CovarianceKind;
+use booting_the_booters::glm::negbin::{fit_negbin, NegBinOptions};
+use booting_the_booters::glm::poisson::fit_poisson;
+use booting_the_booters::glm::irls::IrlsOptions;
+use booting_the_booters::stats::dist::NegativeBinomial;
+use booting_the_booters::timeseries::design::{its_design, DesignConfig};
+use booting_the_booters::timeseries::{Date, InterventionWindow, WeeklySeries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Simulate a paper-shaped weekly series with known coefficients.
+fn simulate_series(seed: u64, intervention_coef: f64) -> (WeeklySeries, Vec<InterventionWindow>) {
+    let start = Date::new(2016, 6, 6);
+    let end = Date::new(2019, 4, 1);
+    let mut series = WeeklySeries::covering(start, end);
+    let windows = vec![InterventionWindow::immediate(
+        "intervention",
+        Date::new(2018, 12, 19),
+        10,
+    )];
+    let design = its_design(&series, &windows, &DesignConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t_col = design.column_index("time").unwrap();
+    let i_col = design.column_index("intervention").unwrap();
+    for i in 0..series.len() {
+        let row = design.x.row(i);
+        let mut eta = 8.0 + 0.010 * row[t_col] + intervention_coef * row[i_col];
+        // Seasonal truth: reuse Table 1's seasonal coefficients.
+        let table1_seasonal = [
+            0.076, -0.051, -0.025, -0.098, -0.134, -0.125, -0.078, 0.069, -0.086, -0.111, 0.091,
+        ];
+        for (m, &coef) in table1_seasonal.iter().enumerate() {
+            let col = design.column_index(&format!("seasonal_{}", m + 2)).unwrap();
+            eta += coef * row[col];
+        }
+        let mu = eta.exp();
+        series.set(i, NegativeBinomial::new(mu, 0.01).sample(&mut rng) as f64);
+    }
+    (series, windows)
+}
+
+fn fit(series: &WeeklySeries, windows: &[InterventionWindow]) -> booting_the_booters::glm::negbin::NegBinFit {
+    let design = its_design(series, windows, &DesignConfig::default());
+    fit_negbin(
+        &design.x,
+        series.values(),
+        &design.names,
+        &NegBinOptions::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn intervention_ci_covers_truth_across_seeds() {
+    // 95% CIs should cover the true coefficient in (almost) all of 12
+    // replicates; allow one miss.
+    let truth = -0.393;
+    let mut covered = 0;
+    for seed in 0..12u64 {
+        let (series, windows) = simulate_series(seed, truth);
+        let fit = fit(&series, &windows);
+        let c = fit.inference.coef("intervention").unwrap();
+        if c.ci_lower <= truth && truth <= c.ci_upper {
+            covered += 1;
+        }
+    }
+    assert!(covered >= 10, "covered {covered}/12");
+}
+
+#[test]
+fn estimates_are_unbiased_in_aggregate() {
+    let truth = -0.3;
+    let mut sum = 0.0;
+    let n = 10;
+    for seed in 100..(100 + n) {
+        let (series, windows) = simulate_series(seed, truth);
+        let fit = fit(&series, &windows);
+        sum += fit.inference.coef("intervention").unwrap().coef;
+    }
+    let mean = sum / n as f64;
+    assert!((mean - truth).abs() < 0.03, "mean estimate {mean} vs truth {truth}");
+}
+
+#[test]
+fn null_intervention_rarely_significant() {
+    // Size control: with no true effect, the 5% test should rarely fire.
+    let mut rejections = 0;
+    let n = 12;
+    for seed in 300..(300 + n) {
+        let (series, windows) = simulate_series(seed, 0.0);
+        let fit = fit(&series, &windows);
+        if fit.inference.coef("intervention").unwrap().p_value < 0.05 {
+            rejections += 1;
+        }
+    }
+    assert!(rejections <= 3, "{rejections}/{n} false positives");
+}
+
+#[test]
+fn robust_and_model_se_agree_under_correct_specification() {
+    let (series, windows) = simulate_series(7, -0.4);
+    let design = its_design(&series, &windows, &DesignConfig::default());
+    let mut opts = NegBinOptions::default();
+    opts.covariance = CovarianceKind::RobustHc1;
+    let robust = fit_negbin(&design.x, series.values(), &design.names, &opts).unwrap();
+    let model = fit(&series, &windows);
+    let r = robust.inference.coef("intervention").unwrap().std_error;
+    let m = model.inference.coef("intervention").unwrap().std_error;
+    assert!((r / m - 1.0).abs() < 0.5, "robust={r} model={m}");
+}
+
+#[test]
+fn poisson_understates_uncertainty_on_overdispersed_counts() {
+    let (series, windows) = simulate_series(42, -0.4);
+    let design = its_design(&series, &windows, &DesignConfig::default());
+    let po = fit_poisson(
+        &design.x,
+        series.values(),
+        &design.names,
+        &IrlsOptions::default(),
+        0.95,
+    )
+    .unwrap();
+    let nb = fit(&series, &windows);
+    let po_se = po.inference.coef("intervention").unwrap().std_error;
+    let nb_se = nb.inference.coef("intervention").unwrap().std_error;
+    assert!(
+        nb_se > 2.0 * po_se,
+        "NB SE {nb_se} should dwarf Poisson SE {po_se} at these counts"
+    );
+    assert!(po.dispersion(series.values()) > 5.0);
+}
+
+#[test]
+fn seasonal_coefficients_recover_table1_values() {
+    let (series, windows) = simulate_series(77, -0.393);
+    let fit = fit(&series, &windows);
+    // December (+0.091) and June (−0.134) have the largest true effects.
+    let dec = fit.inference.coef("seasonal_12").unwrap();
+    let jun = fit.inference.coef("seasonal_6").unwrap();
+    assert!((dec.coef - 0.091).abs() < 0.09, "dec={}", dec.coef);
+    assert!((jun.coef + 0.134).abs() < 0.09, "jun={}", jun.coef);
+    assert!(dec.coef > jun.coef);
+}

@@ -1,0 +1,72 @@
+#![allow(clippy::field_reassign_with_default)]
+//! Cross-crate property tests on the full scenario: invariants that must
+//! hold for any seed and scale.
+
+use booting_the_booters::core::scenario::{Fidelity, Scenario, ScenarioConfig};
+use booting_the_booters::market::calibration::Calibration;
+use booting_the_booters::market::market::MarketConfig;
+use booting_the_booters::netsim::{Country, UdpProtocol};
+use booting_the_booters::timeseries::Date;
+use proptest::prelude::*;
+
+/// A short scenario window keeps each proptest case fast.
+fn short_scenario(seed: u64, scale_milli: u64) -> Scenario {
+    let mut cal = Calibration::default();
+    cal.scenario_start = Date::new(2018, 9, 3);
+    cal.scenario_end = Date::new(2019, 2, 4);
+    Scenario::run(ScenarioConfig {
+        market: MarketConfig {
+            calibration: cal,
+            scale: scale_milli as f64 / 1000.0,
+            seed,
+            ..MarketConfig::default()
+        },
+        fidelity: Fidelity::Aggregate,
+        ..ScenarioConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn scenario_invariants_hold_for_any_seed(seed in any::<u64>(), scale_milli in 2u64..30) {
+        let s = short_scenario(seed, scale_milli);
+        let n = s.honeypot.global.len();
+        prop_assert!(n > 15);
+        for i in 0..n {
+            // Observation never exceeds ground truth, cellwise.
+            prop_assert!(s.honeypot.global.get(i) <= s.ground_truth.global.get(i) + 1e-9);
+            // Marginals are consistent with the joint.
+            let by_c: f64 = s.honeypot.by_country.iter().map(|c| c.get(i)).sum();
+            prop_assert!((by_c - s.honeypot.global.get(i)).abs() < 1e-9);
+            let by_p: f64 = s.honeypot.by_protocol.iter().map(|p| p.get(i)).sum();
+            prop_assert!((by_p - s.honeypot.global.get(i)).abs() < 1e-9);
+            for c in Country::ALL {
+                let joint: f64 = UdpProtocol::ALL
+                    .iter()
+                    .map(|&p| s.honeypot.country_protocol(c, p).get(i))
+                    .sum();
+                prop_assert!((joint - s.honeypot.country(c).get(i)).abs() < 1e-9);
+            }
+            // China never sees DNS attacks (Great Firewall).
+            prop_assert_eq!(
+                s.honeypot.country_protocol(Country::Cn, UdpProtocol::Dns).get(i),
+                0.0
+            );
+        }
+        // Counters never exceed plausibility and deaths are non-negative.
+        for h in s.selfreport.counters.values() {
+            prop_assert!(h.values().all(|&v| v < u64::MAX / 4));
+        }
+    }
+
+    #[test]
+    fn scale_shifts_volume_proportionally(seed in 0u64..1000) {
+        let small = short_scenario(seed, 5);
+        let large = short_scenario(seed, 20);
+        let ratio = large.ground_truth.global.total() / small.ground_truth.global.total();
+        // 4x scale → ~4x volume (NB noise keeps it approximate).
+        prop_assert!((ratio - 4.0).abs() < 0.8, "ratio={ratio}");
+    }
+}
