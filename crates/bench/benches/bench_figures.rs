@@ -10,7 +10,8 @@ use booters_core::scenario::Scenario;
 use booters_core::verify::{cross_dataset_correlation, validate_top_booters};
 use booters_market::calibration::Calibration;
 use booters_timeseries::Date;
-use criterion::{criterion_group, criterion_main, Criterion};
+use booters_testkit::bench::Criterion;
+use booters_testkit::{bench_group, bench_main};
 use std::hint::black_box;
 
 const BENCH_SCALE: f64 = 0.02;
@@ -69,9 +70,9 @@ fn bench_figures(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_figures
 }
-criterion_main!(benches);
+bench_main!(benches);

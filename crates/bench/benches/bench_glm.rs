@@ -10,9 +10,10 @@ use booters_linalg::Matrix;
 use booters_stats::dist::NegativeBinomial;
 use booters_timeseries::design::{its_design, DesignConfig};
 use booters_timeseries::{Date, InterventionWindow, WeeklySeries};
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use booters_testkit::bench::Criterion;
+use booters_testkit::{bench_group, bench_main};
+use booters_testkit::rngs::StdRng;
+use booters_testkit::SeedableRng;
 use std::hint::black_box;
 
 /// Paper-shaped problem: 148 weeks, 5 interventions + Easter + 11
@@ -80,5 +81,5 @@ fn bench_ols_fit(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_negbin_fit, bench_poisson_fit, bench_ols_fit);
-criterion_main!(benches);
+bench_group!(benches, bench_negbin_fit, bench_poisson_fit, bench_ols_fit);
+bench_main!(benches);

@@ -3,7 +3,8 @@
 
 use booters_core::scenario::{Fidelity, Scenario, ScenarioConfig};
 use booters_market::market::{MarketConfig, MarketSim};
-use criterion::{criterion_group, criterion_main, Criterion};
+use booters_testkit::bench::Criterion;
+use booters_testkit::{bench_group, bench_main};
 use std::hint::black_box;
 
 fn bench_weekly_step(c: &mut Criterion) {
@@ -55,9 +56,9 @@ fn bench_observed_scenario(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_weekly_step, bench_full_run, bench_observed_scenario
 }
-criterion_main!(benches);
+bench_main!(benches);

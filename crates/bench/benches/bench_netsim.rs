@@ -3,7 +3,8 @@
 
 use booters_netsim::flow::{classify_flows, FlowGrouper};
 use booters_netsim::{AttackCommand, Engine, EngineConfig, SensorPacket, UdpProtocol, VictimAddr};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use booters_testkit::bench::{Criterion, Throughput};
+use booters_testkit::{bench_group, bench_main};
 use std::hint::black_box;
 
 fn sample_commands(n: usize) -> Vec<AttackCommand> {
@@ -99,11 +100,11 @@ fn bench_attribution(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_would_observe,
     bench_packet_generation,
     bench_flow_grouping,
     bench_attribution
 );
-criterion_main!(benches);
+bench_main!(benches);

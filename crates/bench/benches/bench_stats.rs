@@ -4,9 +4,10 @@
 use booters_stats::dist::{standard_normal_quantile, NegativeBinomial, Normal, Poisson};
 use booters_stats::special::{beta_inc, digamma, gamma_p, ln_gamma, trigamma};
 use booters_stats::tests::{dagostino_k2, ljung_box, white_test};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use booters_testkit::bench::{Criterion, Throughput};
+use booters_testkit::{bench_group, bench_main};
+use booters_testkit::rngs::StdRng;
+use booters_testkit::SeedableRng;
 use std::hint::black_box;
 
 fn bench_special_functions(c: &mut Criterion) {
@@ -99,11 +100,11 @@ fn bench_hypothesis_tests(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_special_functions,
     bench_distributions,
     bench_sampling,
     bench_hypothesis_tests
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -10,7 +10,8 @@ use booters_glm::irls::IrlsOptions;
 use booters_glm::poisson::fit_poisson;
 use booters_market::calibration::Calibration;
 use booters_timeseries::design::{its_design, DesignConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use booters_testkit::bench::Criterion;
+use booters_testkit::{bench_group, bench_main};
 use std::hint::black_box;
 
 const BENCH_SCALE: f64 = 0.02;
@@ -105,9 +106,9 @@ fn bench_detection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_table1, bench_table2, bench_table3, bench_poisson_ablation, bench_detection
 }
-criterion_main!(benches);
+bench_main!(benches);

@@ -9,8 +9,8 @@ use booters_market::commands::commands_for_week;
 use booters_market::market::{MarketConfig, MarketSim};
 use booters_netsim::coverage::CoverageReport;
 use booters_netsim::{Engine, EngineConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use booters_testkit::rngs::StdRng;
+use booters_testkit::SeedableRng;
 
 fn main() {
     let scale = scale_from_args().min(0.05); // command expansion is per attack

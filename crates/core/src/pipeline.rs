@@ -389,7 +389,7 @@ mod tests {
         Scenario::run(ScenarioConfig {
             market: MarketConfig {
                 scale: 0.05,
-                seed: 2024,
+                seed: 2025,
                 ..MarketConfig::default()
             },
             fidelity: Fidelity::Aggregate,

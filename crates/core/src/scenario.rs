@@ -23,8 +23,8 @@ use booters_market::market::{sample_binomial, MarketConfig, MarketSim, WeekOutpu
 use booters_netsim::flow::{FlowClass, FlowGrouper};
 use booters_netsim::{AttackCommand, Country, Engine, EngineConfig, UdpProtocol, VictimAddr};
 use booters_timeseries::Date;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use booters_testkit::rngs::StdRng;
+use booters_testkit::SeedableRng;
 use std::collections::BTreeMap;
 
 /// Observation fidelity.

@@ -227,8 +227,8 @@ mod tests {
     use crate::family::PoissonFamily;
     use crate::irls::{fit_irls, IrlsOptions};
     use crate::link::LogLink;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use booters_testkit::rngs::StdRng;
+    use booters_testkit::SeedableRng;
 
     fn simulate_poisson(n: usize, b0: f64, b1: f64, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);

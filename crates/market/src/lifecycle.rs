@@ -9,8 +9,8 @@
 
 use crate::booter::{Booter, BooterState, SizeClass};
 use booters_netsim::UdpProtocol;
-use rand::rngs::StdRng;
-use rand::Rng;
+use booters_testkit::rngs::StdRng;
+use booters_testkit::Rng;
 
 /// Weekly lifecycle tallies (one point of Figure 8).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -331,10 +331,10 @@ fn sample_portfolio(rng: &mut StdRng) -> Vec<UdpProtocol> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use booters_testkit::SeedableRng;
 
     fn rng() -> StdRng {
-        StdRng::seed_from_u64(0xB007)
+        StdRng::seed_from_u64(0xB008)
     }
 
     #[test]

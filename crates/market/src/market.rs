@@ -14,8 +14,8 @@ use crate::protocol_mix::protocol_weights;
 use booters_netsim::Country;
 use booters_stats::dist::{standard_normal_sample, NegativeBinomial, Poisson};
 use booters_timeseries::Date;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use booters_testkit::rngs::StdRng;
+use booters_testkit::{Rng, SeedableRng};
 
 /// Market simulation configuration.
 #[derive(Debug, Clone)]

@@ -6,21 +6,20 @@ use booters_market::concentration::{herfindahl, top_k_share};
 use booters_market::market::{sample_binomial, sample_multinomial, MarketConfig, MarketSim};
 use booters_market::Calibration;
 use booters_timeseries::Date;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use booters_testkit::strategy::prop;
+use booters_testkit::{any, forall, prop_assert, prop_assert_eq};
+use booters_testkit::rngs::StdRng;
+use booters_testkit::SeedableRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+forall! {
+    #![cases(64)]
 
-    #[test]
     fn binomial_sample_within_bounds(n in 0u64..1_000_000, p in 0.0..1.0f64, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let k = sample_binomial(&mut rng, n, p);
         prop_assert!(k <= n);
     }
 
-    #[test]
     fn multinomial_conserves(
         n in 0u64..500_000,
         weights in prop::collection::vec(0.0..10.0f64, 1..12),
@@ -41,7 +40,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn herfindahl_bounds(volumes in prop::collection::vec(0u64..10_000, 1..30)) {
         let h = herfindahl(&volumes);
         if h.is_finite() {
@@ -55,7 +53,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn weekly_outputs_always_consistent(seed in any::<u64>(), scale_milli in 1u64..20) {
         let mut cal = Calibration::default();
         // Short window keeps each case fast.
@@ -77,7 +74,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn displayed_counters_respect_artifacts(seed in any::<u64>()) {
         let mut cal = Calibration::default();
         cal.scenario_start = Date::new(2018, 1, 1);

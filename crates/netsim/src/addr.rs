@@ -7,7 +7,7 @@
 //! reverse lookup. The eight headline countries of the paper plus a
 //! rest-of-world bucket are modelled.
 
-use rand::Rng;
+use booters_testkit::Rng;
 use std::fmt;
 
 /// Countries tracked by the analysis (the paper's Table 2/3 set, plus
@@ -162,8 +162,8 @@ impl fmt::Display for VictimAddr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use booters_testkit::rngs::StdRng;
+    use booters_testkit::SeedableRng;
 
     #[test]
     fn blocks_are_disjoint() {

@@ -11,7 +11,7 @@
 //! (ground-truth-labelled) attacks attributes the rest.
 
 use crate::packet::SensorPacket;
-use rand::Rng;
+use booters_testkit::Rng;
 use std::collections::BTreeSet;
 
 /// Stable per-booter transmission fingerprint.
@@ -200,8 +200,8 @@ mod tests {
     use crate::addr::VictimAddr;
     use crate::engine::{AttackCommand, Engine, EngineConfig};
     use crate::protocol::UdpProtocol;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use booters_testkit::rngs::StdRng;
+    use booters_testkit::SeedableRng;
 
     fn command(booter: u32, i: u64) -> AttackCommand {
         AttackCommand {

@@ -24,8 +24,8 @@ use crate::protocol::UdpProtocol;
 use crate::attribution::BooterFingerprint;
 use crate::reflector::{SensorConfig, SensorFleet};
 use crate::scanner::{run_scan, ReflectorList, ScannerKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use booters_testkit::rngs::StdRng;
+use booters_testkit::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// One attack ordered from a booter (produced by `booters-market`).

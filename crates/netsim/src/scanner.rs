@@ -7,7 +7,7 @@
 //! answered and so never list honeypots.
 
 use crate::protocol::UdpProtocol;
-use rand::Rng;
+use booters_testkit::Rng;
 
 /// Who is scanning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,8 +96,8 @@ fn booters_sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use booters_testkit::rngs::StdRng;
+    use booters_testkit::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xACE)

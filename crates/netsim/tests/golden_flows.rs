@@ -1,0 +1,151 @@
+//! Golden regression tests for flow grouping: a hand-authored packet
+//! trace whose flow structure is verifiable by inspection, pinning the
+//! paper's §3 rules — the ≥15-minute gap split and the "more than 5
+//! packets at some sensor" attack threshold — to exact counts.
+
+use booters_netsim::flow::{classify_flows, FlowGrouper, FLOW_GAP_SECS};
+use booters_netsim::{FlowClass, SensorPacket, UdpProtocol, VictimAddr};
+use booters_testkit::rngs::StdRng;
+use booters_testkit::{Rng, SeedableRng};
+
+fn pkt(time: u64, sensor: u32, victim_d: u8, protocol: UdpProtocol) -> SensorPacket {
+    SensorPacket {
+        time,
+        sensor,
+        victim: VictimAddr::from_octets(25, 0, 0, victim_d),
+        protocol,
+        ttl: 54,
+        src_port: 80,
+    }
+}
+
+/// The hand-authored trace. Expected flows, in (victim, protocol) terms:
+///
+/// 1. victim 1 / NTP   — 8 packets, sensor 0, t = 0..700       → Attack
+/// 2. victim 1 / NTP   — 4 packets after a 900 s gap           → Scan
+/// 3. victim 2 / DNS   — 6 packets, one per sensor 0..5        → Scan
+///    (6 > 5 in total but max-per-sensor is 1: the rule is per sensor)
+/// 4. victim 2 / DNS   — 7 packets, all sensor 2, after gap    → Attack
+/// 5. victim 3 / SSDP  — 6 packets, sensor 1 (6 > 5)           → Attack
+/// 6. victim 4 / LDAP  — 5 packets, sensor 3 (5 is NOT > 5)    → Scan
+/// 7. victim 1 / DNS   — 2 packets (protocol splits the key)   → Scan
+/// 8. victim 5 / NTP   — 2 packets 899 s apart (gap < 900)     → Scan
+/// 9. victim 6 / NTP   — 1 packet                              → Scan
+/// 10. victim 6 / NTP  — 1 packet exactly 900 s later          → Scan
+fn golden_trace() -> Vec<SensorPacket> {
+    let mut t = Vec::new();
+    // (1) 8-packet attack burst.
+    t.extend((0..8).map(|i| pkt(i * 100, 0, 1, UdpProtocol::Ntp)));
+    // (2) resumes exactly one gap after the burst's last packet (t=700).
+    t.extend((0..4).map(|i| pkt(700 + FLOW_GAP_SECS + i * 100, 0, 1, UdpProtocol::Ntp)));
+    // (3) six packets spread one per sensor.
+    t.extend((0..6).map(|i| pkt(i, i as u32, 2, UdpProtocol::Dns)));
+    // (4) second victim-2 flow, concentrated on sensor 2.
+    t.extend((0..7).map(|i| pkt(5 + FLOW_GAP_SECS + i * 10, 2, 2, UdpProtocol::Dns)));
+    // (5) boundary: 6 packets on one sensor is an attack...
+    t.extend((0..6).map(|i| pkt(100 + i * 100, 1, 3, UdpProtocol::Ssdp)));
+    // (6) ...but 5 is not.
+    t.extend((0..5).map(|i| pkt(100 + i * 100, 3, 4, UdpProtocol::Ldap)));
+    // (7) same victim as (1), different protocol.
+    t.extend((0..2).map(|i| pkt(50 + i, 0, 1, UdpProtocol::Dns)));
+    // (8) gap one second short of the threshold keeps the flow open.
+    t.push(pkt(0, 0, 5, UdpProtocol::Ntp));
+    t.push(pkt(FLOW_GAP_SECS - 1, 0, 5, UdpProtocol::Ntp));
+    // (9)+(10) a gap of exactly the threshold closes it.
+    t.push(pkt(0, 0, 6, UdpProtocol::Ntp));
+    t.push(pkt(FLOW_GAP_SECS, 0, 6, UdpProtocol::Ntp));
+    t.sort_by_key(|p| p.time);
+    t
+}
+
+#[test]
+fn golden_trace_exact_flow_counts() {
+    let flows = classify_flows(&golden_trace());
+    assert_eq!(flows.len(), 10, "expected exactly 10 flows");
+    let attacks = flows.iter().filter(|(_, c)| *c == FlowClass::Attack).count();
+    let scans = flows.iter().filter(|(_, c)| *c == FlowClass::Scan).count();
+    assert_eq!(attacks, 3);
+    assert_eq!(scans, 7);
+    let total_packets: u64 = flows.iter().map(|(f, _)| f.total_packets).sum();
+    assert_eq!(total_packets, 42, "every input packet lands in exactly one flow");
+}
+
+#[test]
+fn golden_trace_gap_splits() {
+    let flows = classify_flows(&golden_trace());
+    // Victim 1 / NTP: the 900 s gap must split an 8-packet attack from a
+    // 4-packet scan.
+    let v1: Vec<_> = flows
+        .iter()
+        .filter(|(f, _)| {
+            f.victim == VictimAddr::from_octets(25, 0, 0, 1) && f.protocol == UdpProtocol::Ntp
+        })
+        .collect();
+    assert_eq!(v1.len(), 2);
+    assert_eq!((v1[0].0.total_packets, v1[0].1), (8, FlowClass::Attack));
+    assert_eq!((v1[1].0.total_packets, v1[1].1), (4, FlowClass::Scan));
+    assert_eq!(v1[0].0.end, 700);
+    assert_eq!(v1[1].0.start, 700 + FLOW_GAP_SECS);
+
+    // Victim 5: a gap of 899 s stays one flow; victim 6: exactly 900 s
+    // splits.
+    let count = |d: u8| {
+        flows
+            .iter()
+            .filter(|(f, _)| f.victim == VictimAddr::from_octets(25, 0, 0, d))
+            .count()
+    };
+    assert_eq!(count(5), 1);
+    assert_eq!(count(6), 2);
+}
+
+#[test]
+fn golden_trace_per_sensor_rule() {
+    let flows = classify_flows(&golden_trace());
+    let find = |d: u8, proto: UdpProtocol| {
+        flows
+            .iter()
+            .find(|(f, _)| {
+                f.victim == VictimAddr::from_octets(25, 0, 0, d) && f.protocol == proto
+            })
+            .unwrap()
+    };
+    // Six packets spread one-per-sensor: scan despite total > 5.
+    let spread = find(2, UdpProtocol::Dns);
+    assert_eq!(spread.0.max_sensor_packets(), 1);
+    assert_eq!(spread.1, FlowClass::Scan);
+    // 6-on-one-sensor vs 5-on-one-sensor is exactly the attack boundary.
+    assert_eq!(find(3, UdpProtocol::Ssdp).1, FlowClass::Attack);
+    assert_eq!(find(4, UdpProtocol::Ldap).1, FlowClass::Scan);
+}
+
+#[test]
+fn seeded_random_trace_is_reproducible() {
+    // A randomized trace from the testkit RNG must produce identical flow
+    // structure on every run and platform: grouping is deterministic and
+    // the RNG stream is pinned by the seed.
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(0xF10_35);
+        let mut packets: Vec<SensorPacket> = (0..2_000)
+            .map(|_| {
+                pkt(
+                    rng.gen_range(0u64..20_000),
+                    rng.gen_range(0u32..3),
+                    rng.gen_range(1u8..3),
+                    UdpProtocol::ALL[rng.gen_range(0usize..UdpProtocol::ALL.len())],
+                )
+            })
+            .collect();
+        packets.sort_by_key(|p| p.time);
+        let mut g = FlowGrouper::new();
+        for p in &packets {
+            g.push(p);
+        }
+        let flows = g.finish();
+        let attacks = flows.iter().filter(|f| f.classify() == FlowClass::Attack).count();
+        (flows.len(), attacks)
+    };
+    let (flows, attacks) = run();
+    assert_eq!((flows, attacks), run(), "same seed must reproduce exactly");
+    assert!(flows > 0 && attacks > 0, "flows={flows} attacks={attacks}");
+}

@@ -6,7 +6,8 @@ use booters_netsim::{
     classify_flows, AttackCommand, Country, Engine, EngineConfig, FlowClass, SensorPacket,
     UdpProtocol, VictimAddr,
 };
-use proptest::prelude::*;
+use booters_testkit::strategy::prop;
+use booters_testkit::{any, forall, prop_assert, prop_assert_eq, Strategy};
 
 /// Strategy: an arbitrary packet stream over a small victim/sensor space,
 /// time-ordered.
@@ -35,17 +36,15 @@ fn packet_stream() -> impl Strategy<Value = Vec<SensorPacket>> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+forall! {
+    #![cases(128)]
 
-    #[test]
     fn flow_grouping_conserves_packets(packets in packet_stream()) {
         let flows = classify_flows(&packets);
         let total: u64 = flows.iter().map(|(f, _)| f.total_packets).sum();
         prop_assert_eq!(total, packets.len() as u64);
     }
 
-    #[test]
     fn per_sensor_counts_sum_to_flow_total(packets in packet_stream()) {
         for (f, _) in classify_flows(&packets) {
             let sum: u64 = f.per_sensor.values().map(|&c| c as u64).sum();
@@ -53,7 +52,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn flows_of_same_key_are_gap_separated(packets in packet_stream()) {
         let flows = classify_flows(&packets);
         // Group closed flows by key and check consecutive flows are at
@@ -76,7 +74,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn classification_matches_rule(packets in packet_stream()) {
         for (f, class) in classify_flows(&packets) {
             let expect = if f.max_sensor_packets() > 5 {
@@ -88,7 +85,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn flow_bounds_are_consistent(packets in packet_stream()) {
         for (f, _) in classify_flows(&packets) {
             prop_assert!(f.start <= f.end);
@@ -96,7 +92,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn flush_before_is_equivalent_to_batch(packets in packet_stream()) {
         // Periodic flushing must produce the same flows as one-shot
         // grouping.
@@ -116,7 +111,6 @@ proptest! {
         prop_assert_eq!(total, packets.len() as u64);
     }
 
-    #[test]
     fn geolocation_total(raw in any::<u32>()) {
         // Every address maps to exactly one country.
         let addr = VictimAddr(raw);
@@ -124,7 +118,6 @@ proptest! {
         prop_assert!(Country::ALL.contains(&c));
     }
 
-    #[test]
     fn engine_observation_is_deterministic_per_command(
         pps in 1u32..100_000,
         dur in 1u32..2_000,
@@ -145,7 +138,6 @@ proptest! {
         prop_assert_eq!(e1.would_observe(&cmd), e2.would_observe(&cmd));
     }
 
-    #[test]
     fn packet_generation_respects_log_cap(
         pps in 1_000u32..200_000,
         dur in 60u32..1_200,

@@ -1,13 +1,13 @@
 //! Probability distributions with density, CDF, quantile and sampling.
 //!
 //! Each distribution is a small value type; sampling takes any
-//! [`rand::Rng`] so simulations stay seedable and deterministic.
+//! [`booters_testkit::Rng`] so simulations stay seedable and deterministic.
 //! CDFs route through the incomplete gamma/beta functions in
 //! [`crate::special`]; quantiles use closed forms where they exist and
 //! bracketed Newton refinement otherwise.
 
 use crate::special::{beta_inc, gamma_p, gamma_q, ln_beta, ln_gamma};
-use rand::Rng;
+use booters_testkit::Rng;
 
 // ---------------------------------------------------------------------------
 // Normal
@@ -656,8 +656,8 @@ impl FDist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use booters_testkit::rngs::StdRng;
+    use booters_testkit::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xB007E2)

@@ -388,8 +388,8 @@ pub fn prime_multiplier_check(series: &[u64]) -> MultiplierCheck {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use booters_testkit::rngs::StdRng;
+    use booters_testkit::{Rng, SeedableRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0x5EED)
@@ -572,7 +572,7 @@ mod tests {
         let mut total = 1_000u64;
         let series: Vec<u64> = (0..100)
             .map(|_| {
-                total += r.gen_range(10..200);
+                total += r.gen_range(10u64..200);
                 total
             })
             .collect();

@@ -9,12 +9,12 @@ use booters_stats::dist::{
     Normal, Poisson, StudentsT,
 };
 use booters_stats::special::{beta_inc, digamma, gamma, gamma_p, gamma_q, ln_gamma};
-use proptest::prelude::*;
+use booters_testkit::strategy::prop;
+use booters_testkit::{forall, prop_assert};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+forall! {
+    #![cases(128)]
 
-    #[test]
     fn gamma_recurrence(x in 0.1..60.0f64) {
         // Γ(x+1) = x·Γ(x) in log form.
         let lhs = ln_gamma(x + 1.0);
@@ -22,25 +22,21 @@ proptest! {
         prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
     }
 
-    #[test]
     fn digamma_is_log_derivative(x in 0.5..40.0f64) {
         let h = 1e-5;
         let numeric = (ln_gamma(x + h) - ln_gamma(x - h)) / (2.0 * h);
         prop_assert!((digamma(x) - numeric).abs() < 1e-5);
     }
 
-    #[test]
     fn gamma_p_q_complementary(a in 0.1..30.0f64, x in 0.0..60.0f64) {
         prop_assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-10);
         prop_assert!((0.0..=1.0).contains(&gamma_p(a, x)));
     }
 
-    #[test]
     fn gamma_p_monotone_in_x(a in 0.2..20.0f64, x in 0.1..40.0f64, dx in 0.01..5.0f64) {
         prop_assert!(gamma_p(a, x + dx) >= gamma_p(a, x) - 1e-12);
     }
 
-    #[test]
     fn beta_inc_bounds_and_symmetry(a in 0.2..20.0f64, b in 0.2..20.0f64, x in 0.0..1.0f64) {
         let v = beta_inc(a, b, x);
         prop_assert!((0.0..=1.0).contains(&v));
@@ -48,12 +44,10 @@ proptest! {
         prop_assert!((v - sym).abs() < 1e-9);
     }
 
-    #[test]
     fn gamma_positive(x in 0.05..30.0f64) {
         prop_assert!(gamma(x) > 0.0);
     }
 
-    #[test]
     fn normal_cdf_monotone_and_symmetric(mu in -5.0..5.0f64, sigma in 0.1..5.0f64, x in -10.0..10.0f64) {
         let n = Normal::new(mu, sigma);
         prop_assert!(n.cdf(x + 0.1) >= n.cdf(x));
@@ -62,67 +56,57 @@ proptest! {
         prop_assert!((n.cdf(mu + d) + n.cdf(mu - d) - 1.0).abs() < 1e-10);
     }
 
-    #[test]
     fn normal_quantile_inverts_cdf(p in 0.001..0.999f64) {
         let z = standard_normal_quantile(p);
         prop_assert!((Normal::standard().cdf(z) - p).abs() < 1e-8);
     }
 
-    #[test]
     fn poisson_cdf_monotone(lambda in 0.1..200.0f64, k in 0u64..100) {
         let d = Poisson::new(lambda);
         prop_assert!(d.cdf(k + 1) >= d.cdf(k) - 1e-12);
         prop_assert!(d.pmf(k) >= 0.0);
     }
 
-    #[test]
     fn negbin_variance_exceeds_mean(mu in 0.5..500.0f64, alpha in 0.001..2.0f64) {
         let nb = NegativeBinomial::new(mu, alpha);
         prop_assert!(nb.variance() > mu);
         prop_assert!((0.0..=1.0).contains(&nb.p()));
     }
 
-    #[test]
     fn negbin_cdf_in_unit_interval(mu in 0.5..100.0f64, alpha in 0.01..1.5f64, k in 0u64..300) {
         let nb = NegativeBinomial::new(mu, alpha);
         let c = nb.cdf(k);
         prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
     }
 
-    #[test]
     fn binomial_cdf_reaches_one(n in 1u64..60, p in 0.0..1.0f64) {
         let b = Binomial::new(n, p);
         prop_assert!((b.cdf(n) - 1.0).abs() < 1e-9);
         prop_assert!(b.variance() <= b.mean() + 1e-12);
     }
 
-    #[test]
     fn exponential_quantile_roundtrip(rate in 0.05..20.0f64, p in 0.001..0.999f64) {
         let e = Exponential::new(rate);
         prop_assert!((e.cdf(e.quantile(p)) - p).abs() < 1e-10);
     }
 
-    #[test]
     fn chi_squared_quantile_roundtrip(df in 1.0..40.0f64, p in 0.01..0.99f64) {
         let c = ChiSquared::new(df);
         let x = c.quantile(p);
         prop_assert!((c.cdf(x) - p).abs() < 1e-6);
     }
 
-    #[test]
     fn students_t_symmetry(df in 1.0..60.0f64, t in 0.0..8.0f64) {
         let d = StudentsT::new(df);
         prop_assert!((d.cdf(t) + d.cdf(-t) - 1.0).abs() < 1e-10);
         prop_assert!((0.0..=1.0).contains(&d.two_sided_p(t)));
     }
 
-    #[test]
     fn gamma_dist_cdf_monotone(shape in 0.2..20.0f64, scale in 0.1..10.0f64, x in 0.0..50.0f64) {
         let g = GammaDist::new(shape, scale);
         prop_assert!(g.cdf(x + 0.5) >= g.cdf(x) - 1e-12);
     }
 
-    #[test]
     fn mean_shift_invariance(xs in prop::collection::vec(-100.0..100.0f64, 3..40), c in -50.0..50.0f64) {
         let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
         prop_assert!((mean(&shifted) - mean(&xs) - c).abs() < 1e-8);
@@ -132,7 +116,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn skewness_flips_under_negation(xs in prop::collection::vec(-50.0..50.0f64, 5..40)) {
         let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
         let s = skewness(&xs);
@@ -142,7 +125,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn kurtosis_scale_invariant(xs in prop::collection::vec(-50.0..50.0f64, 6..40), c in 0.1..10.0f64) {
         let scaled: Vec<f64> = xs.iter().map(|x| x * c).collect();
         let k = excess_kurtosis(&xs);
@@ -152,7 +134,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn pearson_bounded(xs in prop::collection::vec(-50.0..50.0f64, 3..30),
                        ys in prop::collection::vec(-50.0..50.0f64, 3..30)) {
         let n = xs.len().min(ys.len());
@@ -162,7 +143,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn ranks_sum_is_invariant(xs in prop::collection::vec(-100.0..100.0f64, 1..30)) {
         let r = ranks(&xs);
         let n = xs.len() as f64;
@@ -171,7 +151,6 @@ proptest! {
         prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-8);
     }
 
-    #[test]
     fn spearman_equals_pearson_of_ranks(xs in prop::collection::vec(-20.0..20.0f64, 5..25),
                                         ys in prop::collection::vec(-20.0..20.0f64, 5..25)) {
         let n = xs.len().min(ys.len());

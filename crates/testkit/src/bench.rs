@@ -1,0 +1,314 @@
+//! Lightweight benchmark runner replacing `criterion` for the
+//! `harness = false` bench targets.
+//!
+//! Each benchmark is warmed up, then timed over a fixed number of
+//! samples; the runner reports the per-iteration **median** and **MAD**
+//! (median absolute deviation — robust to scheduler noise) as one JSON
+//! line per benchmark on stdout:
+//!
+//! ```text
+//! {"name":"negbin_fit_paper_size","median_ns":123456,"mad_ns":789,"samples":20,"iters_per_sample":4}
+//! ```
+//!
+//! Set `BENCH_JSON=<path>` to also append the lines to a file (the
+//! `BENCH_*.json` trajectory), and `BENCH_SAMPLE_SIZE=<n>` to override
+//! every group's sample count (useful for a quick smoke pass).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group (recorded in the
+/// JSON line so rates can be derived offline).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver (API-compatible subset of
+/// `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warmup: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, self.warmup, None, f);
+        self
+    }
+
+    /// Open a named group; benchmarks in it are reported as
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group's per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, name),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.warmup,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] (or
+/// [`Bencher::iter_with_setup`]) with the routine to time.
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    /// Per-sample elapsed time and iteration count, filled by `iter`.
+    samples: Vec<(Duration, u32)>,
+}
+
+impl Bencher {
+    /// Time `routine`, warming up first and then collecting samples.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warmup: run until the warmup budget elapses (at least once),
+        // measuring a rough per-iteration cost to size the samples.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters == 0 || warm_start.elapsed() < self.warmup {
+            std_black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1);
+        // Aim for ~10ms per sample, between 1 and 10_000 iterations.
+        let iters = (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 10_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+
+    /// Time `routine` on a fresh `setup()` value each iteration; only the
+    /// routine is timed.
+    pub fn iter_with_setup<S, T, Setup, F>(&mut self, mut setup: Setup, mut routine: F)
+    where
+        Setup: FnMut() -> S,
+        F: FnMut(S) -> T,
+    {
+        // One warmup pass.
+        std_black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+fn run_benchmark<F>(
+    name: &str,
+    sample_size: usize,
+    warmup: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let sample_size = std::env::var("BENCH_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(sample_size);
+    let mut bencher = Bencher {
+        sample_size,
+        warmup,
+        samples: Vec::with_capacity(sample_size),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        eprintln!("bench {name}: no samples recorded (closure never called iter)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|(d, iters)| d.as_nanos() as f64 / *iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let med = median(&per_iter);
+    let mut deviations: Vec<f64> = per_iter.iter().map(|x| (x - med).abs()).collect();
+    deviations.sort_by(|a, b| a.total_cmp(b));
+    let mad = median(&deviations);
+    let throughput_field = match throughput {
+        Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+        Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+        None => String::new(),
+    };
+    let line = format!(
+        "{{\"name\":\"{name}\",\"median_ns\":{med:.0},\"mad_ns\":{mad:.0},\
+         \"samples\":{n},\"iters_per_sample\":{iters}{throughput_field}}}",
+        n = per_iter.len(),
+        iters = bencher.samples[0].1,
+    );
+    println!("{line}");
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        use std::io::Write;
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+/// Declare a bench entry function running the listed benchmark
+/// functions, mirroring both forms of `criterion_group!`.
+#[macro_export]
+macro_rules! bench_group {
+    ( name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)? ) => {
+        fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $group:ident, $($target:path),+ $(,)? ) => {
+        fn $group() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main()` for a `harness = false` bench target, mirroring
+/// `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runner_produces_sane_medians() {
+        // Time a ~deterministic busy loop directly through the internals.
+        let mut bencher = Bencher {
+            sample_size: 5,
+            warmup: Duration::from_millis(1),
+            samples: Vec::new(),
+        };
+        bencher.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert_eq!(bencher.samples.len(), 5);
+        let per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+            .collect();
+        assert!(per_iter.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(median(&sorted), 3.0);
+        let med = median(&sorted);
+        let mut dev: Vec<f64> = sorted.iter().map(|x| (x - med).abs()).collect();
+        dev.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(median(&dev), 1.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,202 @@
+//! The property-test runner behind the [`forall!`](crate::forall) macro.
+//!
+//! Each property runs a configurable number of generated cases from a
+//! deterministic seed schedule. On failure the harness greedily shrinks
+//! the input, then panics with the minimal counterexample *and* the seed
+//! that reproduces it (`TESTKIT_SEED=<n> cargo test <name>`).
+
+use crate::rng::SeedableRng;
+use crate::rngs::StdRng;
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Base seed of the deterministic case schedule. Overridden by the
+/// `TESTKIT_SEED` environment variable to replay a reported failure.
+pub const DEFAULT_BASE_SEED: u64 = 0xB007_E25;
+
+/// Cap on greedy shrink steps, so pathological strategies terminate.
+const MAX_SHRINK_STEPS: u32 = 1_000;
+
+thread_local! {
+    static SUPPRESS_PANIC_OUTPUT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that stays silent while this
+/// thread is probing candidate inputs, and delegates to the previous hook
+/// otherwise. Without this, every probed case would spam the test log.
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(|s| s.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extract a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `test` once, capturing a panic as `Err(message)`.
+fn run_case<V, F: Fn(V)>(test: &F, value: V) -> Result<(), String> {
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+    SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+    outcome.map_err(|payload| panic_message(payload.as_ref()))
+}
+
+/// The seed of case `i` in the schedule starting at `base`. Case 0 uses
+/// `base` itself so a reported seed replays directly as `TESTKIT_SEED`.
+fn case_seed(base: u64, i: u32) -> u64 {
+    // Distinct odd stride keeps the per-case seeds well separated; the
+    // splitmix64 expansion inside seed_from_u64 decorrelates them.
+    base.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Execute a property: `cases` runs of `test` on inputs drawn from
+/// `strategy`. Called by the [`forall!`](crate::forall) macro.
+///
+/// Environment overrides:
+/// - `TESTKIT_SEED=<n>` — replay the schedule starting at seed `n`
+///   (pass the seed printed by a failure to reproduce it as case 0);
+/// - `TESTKIT_CASES=<n>` — override the case count.
+pub fn check<S, F>(name: &str, cases: u32, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    install_quiet_hook();
+    let (base_seed, replaying) = match std::env::var("TESTKIT_SEED") {
+        Ok(v) => (
+            v.parse::<u64>()
+                .unwrap_or_else(|_| panic!("TESTKIT_SEED must be a u64, got {v:?}")),
+            true,
+        ),
+        Err(_) => (DEFAULT_BASE_SEED, false),
+    };
+    let cases = std::env::var("TESTKIT_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(if replaying { 1 } else { cases });
+
+    for i in 0..cases {
+        let seed = case_seed(base_seed, i);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = strategy.generate(&mut rng);
+        if let Err(message) = run_case(&test, input.clone()) {
+            let (minimal, steps) = shrink_failure(&strategy, &test, input, message);
+            panic!(
+                "property {name} failed (case {i}/{cases}, after {steps} shrink steps)\n\
+                 minimal failing input: {minimal:?}\n\
+                 reproduce with: TESTKIT_SEED={seed} cargo test {short}\n",
+                short = name.rsplit("::").next().unwrap_or(name),
+            );
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly take the first candidate that still fails,
+/// until no candidate fails or the step budget is exhausted. Returns the
+/// minimal input rendered with its failure message, plus the step count.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    test: &F,
+    mut failing: S::Value,
+    mut message: String,
+) -> (String, u32)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    let mut steps = 0u32;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for candidate in strategy.shrink(&failing) {
+            steps += 1;
+            if steps >= MAX_SHRINK_STEPS {
+                break 'outer;
+            }
+            if let Err(m) = run_case(test, candidate.clone()) {
+                failing = candidate;
+                message = m;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (format!("{failing:?}\nfailure: {message}"), steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::vec;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check("testkit::always_true", 50, (0u32..100,), |(_x,)| {
+            counter.set(counter.get() + 1);
+        });
+        assert_eq!(counter.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check("testkit::fails_over_10", 200, (0u32..1000,), |(x,)| {
+                assert!(x <= 10, "x={x} exceeds 10");
+            });
+        }));
+        let message = panic_message(outcome.expect_err("property must fail").as_ref());
+        assert!(message.contains("TESTKIT_SEED="), "no seed in: {message}");
+        assert!(message.contains("minimal failing input"), "{message}");
+        // Greedy shrinking must land on the boundary counterexample.
+        assert!(message.contains("(11,"), "not minimal: {message}");
+    }
+
+    #[test]
+    fn deterministic_schedule_is_reproducible() {
+        let seen = std::cell::RefCell::new(Vec::new());
+        check("testkit::record", 10, (0u64..1_000_000,), |(x,)| {
+            seen.borrow_mut().push(x);
+        });
+        let first = seen.borrow().clone();
+        seen.borrow_mut().clear();
+        check("testkit::record", 10, (0u64..1_000_000,), |(x,)| {
+            seen.borrow_mut().push(x);
+        });
+        assert_eq!(*seen.borrow(), first);
+    }
+
+    #[test]
+    fn vec_inputs_shrink_toward_short_vectors() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "testkit::no_long_vecs",
+                200,
+                (vec(0u32..10, 0..50),),
+                |(v,)| assert!(v.len() < 3, "len={}", v.len()),
+            );
+        }));
+        let message = panic_message(outcome.expect_err("must fail").as_ref());
+        // A minimal counterexample has exactly 3 elements.
+        let start = message.find('[').expect("vec debug in message");
+        let end = message[start..].find(']').unwrap() + start;
+        let elems = message[start + 1..end].split(',').count();
+        assert_eq!(elems, 3, "not minimal: {message}");
+    }
+}

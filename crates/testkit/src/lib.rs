@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # booters-testkit
+//!
+//! Hermetic, zero-dependency test substrate for the booters workspace:
+//! everything needed to build and test fully offline.
+//!
+//! | module | what it replaces | what it provides |
+//! |---|---|---|
+//! | [`rng`] | `rand` | splitmix64 seeding + xoshiro256++ core, [`Rng`]/[`SeedableRng`] traits, [`rngs::StdRng`] |
+//! | [`strategy`] + [`harness`] | `proptest` | [`forall!`] property tests with greedy shrinking and seed replay |
+//! | [`bench`] | `criterion` | warmup + timed samples, median/MAD, one JSON line per benchmark |
+//!
+//! ## Seeding
+//!
+//! All randomness flows from a single `u64` via
+//! [`SeedableRng::seed_from_u64`]; identical seeds give identical streams
+//! on every platform, so fixed seeds make the Table 1/2/3 artifacts
+//! byte-reproducible. Property-test failures print the `TESTKIT_SEED`
+//! value that replays them.
+
+pub mod bench;
+pub mod harness;
+#[macro_use]
+mod macros;
+pub mod rng;
+pub mod strategy;
+
+pub use rng::rngs;
+pub use rng::{Rng, RngCore, SeedableRng};
+pub use strategy::{any, Just, Strategy};

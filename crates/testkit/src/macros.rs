@@ -1,0 +1,109 @@
+//! The [`forall!`] property-test macro and its assertion helpers.
+
+/// Define a block of property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` becomes a `#[test]`
+/// that runs the body over generated inputs. An optional leading
+/// `#![cases(N)]` sets the case count for every property in the block
+/// (default [`DEFAULT_CASES`](crate::harness::DEFAULT_CASES)).
+///
+/// ```
+/// booters_testkit::forall! {
+///     #![cases(64)]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         booters_testkit::prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # fn main() {}
+/// ```
+///
+/// A failing property panics with the minimal shrunk counterexample and
+/// the `TESTKIT_SEED` value that replays it.
+#[macro_export]
+macro_rules! forall {
+    ( #![cases($cases:expr)] $($rest:tt)* ) => {
+        $crate::__forall_impl! { cases = $cases; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__forall_impl! { cases = $crate::harness::DEFAULT_CASES; $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __forall_impl {
+    ( cases = $cases:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __strategy = ( $( $strat, )+ );
+            $crate::harness::check(
+                concat!(module_path!(), "::", stringify!($name)),
+                $cases,
+                __strategy,
+                |( $( $arg, )+ )| $body,
+            );
+        }
+    )*};
+}
+
+/// Assert a condition inside a property body; on failure the harness
+/// records the message, shrinks the input and reports the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert!({}) failed", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Assert equality inside a property body (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            panic!(
+                "prop_assert_eq! failed: {:?} != {:?} ({} vs {})",
+                l, r, stringify!($left), stringify!($right)
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::{any, vec, Just, Strategy};
+
+    crate::forall! {
+        #![cases(64)]
+
+        fn tuples_and_patterns_work((a, b) in (0u32..10, 0u32..10), c in any::<bool>()) {
+            crate::prop_assert!(a < 10 && b < 10);
+            let _ = c;
+        }
+
+        fn vec_and_map_compose(v in vec(0u8..100, 1..20).prop_map(|v| v.len())) {
+            crate::prop_assert!((1..20).contains(&v));
+        }
+
+        fn just_passes_through(x in Just(41), y in 1u32..2) {
+            crate::prop_assert_eq!(x + y, 42);
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Input generators ("strategies") for the property-test harness.
+//!
+//! A [`Strategy`] produces random values of one type and knows how to
+//! propose *smaller* variants of a failing value (shrinking). The
+//! combinators cover exactly what the workspace suites use: numeric
+//! ranges, `any::<T>()`, fixed values ([`Just`]), tuples, sized
+//! collections ([`vec`]), and the [`Strategy::prop_map`] /
+//! [`Strategy::prop_flat_map`] adapters.
+
+use crate::rng::{uniform_u64_below, Rng};
+use crate::rngs::StdRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test inputs with optional shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Propose strictly "smaller" candidate values derived from a failing
+    /// `value`, most aggressive first. Default: no shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
+    /// Transform generated values. Shrinking does not propagate through
+    /// the (non-invertible) mapping.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Clone + Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy built from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*value as i128, self.start as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*value as i128, *self.start() as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, u8, i16, u16, i32, u32, i64, u64, isize, usize);
+
+/// Candidates between `low` and `value`: the low bound itself, then
+/// successive midpoints approaching `value` from below.
+fn shrink_int_toward(value: i128, low: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value <= low {
+        return out;
+    }
+    out.push(low);
+    let mut delta = (value - low) / 2;
+    while delta > 0 && out.len() < 16 {
+        let cand = value - delta;
+        if cand != low {
+            out.push(cand);
+        }
+        delta /= 2;
+    }
+    out
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64_toward(*value, self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64_toward(*value, *self.start())
+    }
+}
+
+fn shrink_f64_toward(value: f64, low: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if !(value > low) {
+        return out;
+    }
+    // Prefer "simple" values inside the range: the bound and zero.
+    out.push(low);
+    if low < 0.0 && value > 0.0 {
+        out.push(0.0);
+    }
+    let mut delta = (value - low) / 2.0;
+    for _ in 0..8 {
+        let cand = value - delta;
+        if cand > low && cand < value {
+            out.push(cand);
+        }
+        delta /= 2.0;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// any / Just
+// ---------------------------------------------------------------------------
+
+/// Full-domain strategy for `T`, mirroring `proptest`'s `any::<T>()`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a natural full-domain distribution and shrink order.
+pub trait ArbitraryValue: Clone + Debug {
+    /// Draw one value from the full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+    /// Shrink candidates toward the type's simplest value.
+    fn shrink_value(&self) -> Vec<Self>;
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn shrink_value(&self) -> Vec<$t> {
+                shrink_int_toward(*self as i128, 0)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+    fn shrink_value(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A strategy that always yields the same value (`proptest::strategy::Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Map / FlatMap
+// ---------------------------------------------------------------------------
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        let first = self.inner.generate(rng);
+        (self.f)(first).generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+ $(,)?))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Length specification for [`vec`]: a fixed size or a `min..max` range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (exclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "vec: empty size range {r:?}");
+        SizeRange { min: r.start, max: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max: *r.end() + 1 }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `elem` and a length drawn
+/// from `size` (mirrors `proptest::collection::vec`).
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { elem, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min
+            + if span > 1 {
+                uniform_u64_below(rng, span) as usize
+            } else {
+                0
+            };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        // Structural shrinks first: halve, then drop single elements.
+        if len > self.size.min {
+            let half = (len / 2).max(self.size.min);
+            if half < len {
+                out.push(value[..half].to_vec());
+            }
+            for i in (0..len).take(8) {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // Element-wise shrinks (first candidate per position only, to
+        // keep the greedy pass bounded).
+        for (i, item) in value.iter().enumerate().take(16) {
+            if let Some(cand) = self.elem.shrink(item).into_iter().next() {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Namespace mirror of `proptest::prop::collection`, so ported suites can
+/// keep `prop::collection::vec(...)` spellings.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use super::super::vec;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedableRng;
+
+    #[test]
+    fn range_strategy_generates_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = 10u64..200;
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((10..200).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_low_bound() {
+        let s = 10i32..200;
+        let cands = s.shrink(&100);
+        assert!(cands.contains(&10));
+        assert!(cands.iter().all(|&c| (10..100).contains(&c)));
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_and_shrinks_structurally() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = vec(0.0..1.0f64, 3..10);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..10).contains(&v.len()));
+        }
+        let failing = s.generate(&mut rng);
+        for cand in s.shrink(&failing) {
+            assert!(cand.len() >= 3, "shrank below min len: {}", cand.len());
+        }
+    }
+
+    #[test]
+    fn tuple_strategy_shrinks_componentwise() {
+        let s = (0u32..100, 0.0..1.0f64);
+        let cands = s.shrink(&(50, 0.5));
+        assert!(!cands.is_empty());
+        for (a, b) in cands {
+            assert!(a < 100 && (0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn flat_map_composes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = (1u8..=12).prop_flat_map(|m| (Just(m), 1u8..=28));
+        for _ in 0..100 {
+            let (m, d) = s.generate(&mut rng);
+            assert!((1..=12).contains(&m) && (1..=28).contains(&d));
+        }
+    }
+}

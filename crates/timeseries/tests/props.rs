@@ -6,7 +6,8 @@ use booters_timeseries::easter::easter_sunday;
 use booters_timeseries::intervention::InterventionWindow;
 use booters_timeseries::seasonal::seasonal_row;
 use booters_timeseries::series::WeeklySeries;
-use proptest::prelude::*;
+use booters_testkit::strategy::prop;
+use booters_testkit::{forall, prop_assert, prop_assert_eq, Just, Strategy};
 
 /// Strategy: a valid date between 1990 and 2050.
 fn date() -> impl Strategy<Value = Date> {
@@ -16,27 +17,23 @@ fn date() -> impl Strategy<Value = Date> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+forall! {
+    #![cases(256)]
 
-    #[test]
     fn days_roundtrip(d in date()) {
         prop_assert_eq!(Date::from_days(d.to_days()), d);
     }
 
-    #[test]
     fn add_days_is_additive(d in date(), a in -1000i64..1000, b in -1000i64..1000) {
         prop_assert_eq!(d.add_days(a).add_days(b), d.add_days(a + b));
     }
 
-    #[test]
     fn weekday_advances_by_one(d in date()) {
         let today = d.weekday() as i64;
         let tomorrow = d.add_days(1).weekday() as i64;
         prop_assert_eq!(tomorrow, today % 7 + 1);
     }
 
-    #[test]
     fn week_start_is_idempotent_monday(d in date()) {
         let ws = d.week_start();
         prop_assert_eq!(ws.weekday(), Weekday::Monday);
@@ -45,26 +42,22 @@ proptest! {
         prop_assert!((0..7).contains(&gap));
     }
 
-    #[test]
     fn ordinal_consistent_with_days(d in date()) {
         let jan1 = Date::new(d.year(), 1, 1);
         prop_assert_eq!(d.ordinal() as i64, d.days_since(jan1) + 1);
     }
 
-    #[test]
     fn leap_year_has_366_days(y in 1990i32..2050) {
         let total: u32 = (1..=12).map(|m| days_in_month(y, m) as u32).sum();
         prop_assert_eq!(total, if is_leap(y) { 366 } else { 365 });
     }
 
-    #[test]
     fn easter_is_spring_sunday(y in 1990i32..2050) {
         let e = easter_sunday(y);
         prop_assert_eq!(e.weekday(), Weekday::Sunday);
         prop_assert!(e.month() == 3 || e.month() == 4);
     }
 
-    #[test]
     fn series_add_event_conserves_total(
         start in date(),
         events in prop::collection::vec((0i64..200, 0.0..100.0f64), 0..50),
@@ -81,7 +74,6 @@ proptest! {
         prop_assert!((s.total() - expected).abs() < 1e-9);
     }
 
-    #[test]
     fn series_window_is_a_slice(start in date(), from in 0usize..10, len in 1usize..10) {
         let values: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let s = WeeklySeries::from_values(start, values);
@@ -95,7 +87,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn seasonal_row_is_one_hot(d in date()) {
         let row = seasonal_row(d.week_start());
         let ones = row.iter().filter(|&&v| v == 1.0).count();
@@ -110,7 +101,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn intervention_dummy_sums_to_visible_duration(
         start in date(),
         delay in 0usize..4,
@@ -131,7 +121,6 @@ proptest! {
         prop_assert!(col.iter().all(|&v| v == 0.0 || v == 1.0));
     }
 
-    #[test]
     fn window_active_weeks_are_contiguous(start in date(), duration in 1usize..20) {
         let s = WeeklySeries::zeros(start, 60);
         let w = InterventionWindow::immediate("w", s.start().add_days(70), duration);

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 verification: hermetic release build + full test suite.
+#
+# The workspace has zero external dependencies (see "Hermetic builds" in
+# README.md), so this must succeed on a machine with no network access
+# and no ~/.cargo/registry cache. --offline turns any accidental
+# reintroduction of a registry dependency into an immediate, explicit
+# failure instead of a hang.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --workspace --offline
+
+echo "==> cargo test (offline)"
+cargo test -q --workspace --offline
+
+echo "==> verify: OK"

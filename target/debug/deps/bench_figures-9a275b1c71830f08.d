@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_figures-9a275b1c71830f08.d: crates/bench/benches/bench_figures.rs
+
+/root/repo/target/debug/deps/bench_figures-9a275b1c71830f08: crates/bench/benches/bench_figures.rs
+
+crates/bench/benches/bench_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_glm-d6b0beb0f042c291.d: crates/bench/benches/bench_glm.rs
+
+/root/repo/target/debug/deps/bench_glm-d6b0beb0f042c291: crates/bench/benches/bench_glm.rs
+
+crates/bench/benches/bench_glm.rs:

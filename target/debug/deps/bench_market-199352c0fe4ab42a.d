@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_market-199352c0fe4ab42a.d: crates/bench/benches/bench_market.rs
+
+/root/repo/target/debug/deps/bench_market-199352c0fe4ab42a: crates/bench/benches/bench_market.rs
+
+crates/bench/benches/bench_market.rs:

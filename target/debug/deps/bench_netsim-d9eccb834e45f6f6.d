@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_netsim-d9eccb834e45f6f6.d: crates/bench/benches/bench_netsim.rs
+
+/root/repo/target/debug/deps/bench_netsim-d9eccb834e45f6f6: crates/bench/benches/bench_netsim.rs
+
+crates/bench/benches/bench_netsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_stats-36d944786e7ddeb4.d: crates/bench/benches/bench_stats.rs
+
+/root/repo/target/debug/deps/bench_stats-36d944786e7ddeb4: crates/bench/benches/bench_stats.rs
+
+crates/bench/benches/bench_stats.rs:

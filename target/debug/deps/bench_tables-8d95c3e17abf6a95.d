@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_tables-8d95c3e17abf6a95.d: crates/bench/benches/bench_tables.rs
+
+/root/repo/target/debug/deps/bench_tables-8d95c3e17abf6a95: crates/bench/benches/bench_tables.rs
+
+crates/bench/benches/bench_tables.rs:

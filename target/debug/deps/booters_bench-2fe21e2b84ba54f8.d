@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/booters_bench-2fe21e2b84ba54f8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbooters_bench-2fe21e2b84ba54f8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbooters_bench-2fe21e2b84ba54f8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/booters_bench-afe9c3853faf374d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/booters_bench-afe9c3853faf374d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/booters_core-4f3a16a937489d9b.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/datasets.rs crates/core/src/detect.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libbooters_core-4f3a16a937489d9b.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/datasets.rs crates/core/src/detect.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libbooters_core-4f3a16a937489d9b.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/datasets.rs crates/core/src/detect.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/datasets.rs:
+crates/core/src/detect.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/booters_glm-34800a56f177abb1.d: crates/glm/src/lib.rs crates/glm/src/family.rs crates/glm/src/inference.rs crates/glm/src/irls.rs crates/glm/src/link.rs crates/glm/src/negbin.rs crates/glm/src/ols.rs crates/glm/src/poisson.rs crates/glm/src/summary.rs
+
+/root/repo/target/debug/deps/booters_glm-34800a56f177abb1: crates/glm/src/lib.rs crates/glm/src/family.rs crates/glm/src/inference.rs crates/glm/src/irls.rs crates/glm/src/link.rs crates/glm/src/negbin.rs crates/glm/src/ols.rs crates/glm/src/poisson.rs crates/glm/src/summary.rs
+
+crates/glm/src/lib.rs:
+crates/glm/src/family.rs:
+crates/glm/src/inference.rs:
+crates/glm/src/irls.rs:
+crates/glm/src/link.rs:
+crates/glm/src/negbin.rs:
+crates/glm/src/ols.rs:
+crates/glm/src/poisson.rs:
+crates/glm/src/summary.rs:

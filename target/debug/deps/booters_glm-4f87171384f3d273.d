@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/booters_glm-4f87171384f3d273.d: crates/glm/src/lib.rs crates/glm/src/family.rs crates/glm/src/inference.rs crates/glm/src/irls.rs crates/glm/src/link.rs crates/glm/src/negbin.rs crates/glm/src/ols.rs crates/glm/src/poisson.rs crates/glm/src/summary.rs
+
+/root/repo/target/debug/deps/libbooters_glm-4f87171384f3d273.rlib: crates/glm/src/lib.rs crates/glm/src/family.rs crates/glm/src/inference.rs crates/glm/src/irls.rs crates/glm/src/link.rs crates/glm/src/negbin.rs crates/glm/src/ols.rs crates/glm/src/poisson.rs crates/glm/src/summary.rs
+
+/root/repo/target/debug/deps/libbooters_glm-4f87171384f3d273.rmeta: crates/glm/src/lib.rs crates/glm/src/family.rs crates/glm/src/inference.rs crates/glm/src/irls.rs crates/glm/src/link.rs crates/glm/src/negbin.rs crates/glm/src/ols.rs crates/glm/src/poisson.rs crates/glm/src/summary.rs
+
+crates/glm/src/lib.rs:
+crates/glm/src/family.rs:
+crates/glm/src/inference.rs:
+crates/glm/src/irls.rs:
+crates/glm/src/link.rs:
+crates/glm/src/negbin.rs:
+crates/glm/src/ols.rs:
+crates/glm/src/poisson.rs:
+crates/glm/src/summary.rs:

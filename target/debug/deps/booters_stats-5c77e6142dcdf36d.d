@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/booters_stats-5c77e6142dcdf36d.d: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/special.rs crates/stats/src/tests.rs
+
+/root/repo/target/debug/deps/libbooters_stats-5c77e6142dcdf36d.rlib: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/special.rs crates/stats/src/tests.rs
+
+/root/repo/target/debug/deps/libbooters_stats-5c77e6142dcdf36d.rmeta: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/special.rs crates/stats/src/tests.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/describe.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/special.rs:
+crates/stats/src/tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/booters_stats-e174ca51c8e1237e.d: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/special.rs crates/stats/src/tests.rs
+
+/root/repo/target/debug/deps/booters_stats-e174ca51c8e1237e: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/special.rs crates/stats/src/tests.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/describe.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/special.rs:
+crates/stats/src/tests.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/booters_testkit-bda898411163c166.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/harness.rs crates/testkit/src/macros.rs crates/testkit/src/rng.rs crates/testkit/src/strategy.rs
+
+/root/repo/target/debug/deps/booters_testkit-bda898411163c166: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/harness.rs crates/testkit/src/macros.rs crates/testkit/src/rng.rs crates/testkit/src/strategy.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/harness.rs:
+crates/testkit/src/macros.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/strategy.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/booters_testkit-cf4e55fe730c387e.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/harness.rs crates/testkit/src/macros.rs crates/testkit/src/rng.rs crates/testkit/src/strategy.rs
+
+/root/repo/target/debug/deps/libbooters_testkit-cf4e55fe730c387e.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/harness.rs crates/testkit/src/macros.rs crates/testkit/src/rng.rs crates/testkit/src/strategy.rs
+
+/root/repo/target/debug/deps/libbooters_testkit-cf4e55fe730c387e.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/harness.rs crates/testkit/src/macros.rs crates/testkit/src/rng.rs crates/testkit/src/strategy.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/harness.rs:
+crates/testkit/src/macros.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/strategy.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/booters_timeseries-8d96c8ca5c15b3c9.d: crates/timeseries/src/lib.rs crates/timeseries/src/correlate.rs crates/timeseries/src/date.rs crates/timeseries/src/design.rs crates/timeseries/src/easter.rs crates/timeseries/src/index.rs crates/timeseries/src/intervention.rs crates/timeseries/src/seasonal.rs crates/timeseries/src/series.rs crates/timeseries/src/smooth.rs
+
+/root/repo/target/debug/deps/libbooters_timeseries-8d96c8ca5c15b3c9.rlib: crates/timeseries/src/lib.rs crates/timeseries/src/correlate.rs crates/timeseries/src/date.rs crates/timeseries/src/design.rs crates/timeseries/src/easter.rs crates/timeseries/src/index.rs crates/timeseries/src/intervention.rs crates/timeseries/src/seasonal.rs crates/timeseries/src/series.rs crates/timeseries/src/smooth.rs
+
+/root/repo/target/debug/deps/libbooters_timeseries-8d96c8ca5c15b3c9.rmeta: crates/timeseries/src/lib.rs crates/timeseries/src/correlate.rs crates/timeseries/src/date.rs crates/timeseries/src/design.rs crates/timeseries/src/easter.rs crates/timeseries/src/index.rs crates/timeseries/src/intervention.rs crates/timeseries/src/seasonal.rs crates/timeseries/src/series.rs crates/timeseries/src/smooth.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/correlate.rs:
+crates/timeseries/src/date.rs:
+crates/timeseries/src/design.rs:
+crates/timeseries/src/easter.rs:
+crates/timeseries/src/index.rs:
+crates/timeseries/src/intervention.rs:
+crates/timeseries/src/seasonal.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/smooth.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/booters_timeseries-8ff0d79c0d5f3255.d: crates/timeseries/src/lib.rs crates/timeseries/src/correlate.rs crates/timeseries/src/date.rs crates/timeseries/src/design.rs crates/timeseries/src/easter.rs crates/timeseries/src/index.rs crates/timeseries/src/intervention.rs crates/timeseries/src/seasonal.rs crates/timeseries/src/series.rs crates/timeseries/src/smooth.rs
+
+/root/repo/target/debug/deps/booters_timeseries-8ff0d79c0d5f3255: crates/timeseries/src/lib.rs crates/timeseries/src/correlate.rs crates/timeseries/src/date.rs crates/timeseries/src/design.rs crates/timeseries/src/easter.rs crates/timeseries/src/index.rs crates/timeseries/src/intervention.rs crates/timeseries/src/seasonal.rs crates/timeseries/src/series.rs crates/timeseries/src/smooth.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/correlate.rs:
+crates/timeseries/src/date.rs:
+crates/timeseries/src/design.rs:
+crates/timeseries/src/easter.rs:
+crates/timeseries/src/index.rs:
+crates/timeseries/src/intervention.rs:
+crates/timeseries/src/seasonal.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/smooth.rs:

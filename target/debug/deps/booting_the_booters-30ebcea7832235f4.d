@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/booting_the_booters-30ebcea7832235f4.d: src/lib.rs
+
+/root/repo/target/debug/deps/booting_the_booters-30ebcea7832235f4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/booting_the_booters-cdddb1e155deff91.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbooting_the_booters-cdddb1e155deff91.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbooting_the_booters-cdddb1e155deff91.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a6341ff3456ae8ad.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a6341ff3456ae8ad: tests/end_to_end.rs
+
+tests/end_to_end.rs:

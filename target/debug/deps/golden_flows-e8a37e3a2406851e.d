@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_flows-e8a37e3a2406851e.d: crates/netsim/tests/golden_flows.rs
+
+/root/repo/target/debug/deps/golden_flows-e8a37e3a2406851e: crates/netsim/tests/golden_flows.rs
+
+crates/netsim/tests/golden_flows.rs:

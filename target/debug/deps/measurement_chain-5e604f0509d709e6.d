@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/measurement_chain-5e604f0509d709e6.d: tests/measurement_chain.rs
+
+/root/repo/target/debug/deps/measurement_chain-5e604f0509d709e6: tests/measurement_chain.rs
+
+tests/measurement_chain.rs:

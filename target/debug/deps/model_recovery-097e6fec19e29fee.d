@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_recovery-097e6fec19e29fee.d: tests/model_recovery.rs
+
+/root/repo/target/debug/deps/model_recovery-097e6fec19e29fee: tests/model_recovery.rs
+
+tests/model_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-0952a12781f32fd5.d: crates/market/tests/props.rs
+
+/root/repo/target/debug/deps/props-0952a12781f32fd5: crates/market/tests/props.rs
+
+crates/market/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-189300c8df7ca1ad.d: crates/linalg/tests/props.rs
+
+/root/repo/target/debug/deps/props-189300c8df7ca1ad: crates/linalg/tests/props.rs
+
+crates/linalg/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-194d006b7ddd33b7.d: crates/stats/tests/props.rs
+
+/root/repo/target/debug/deps/props-194d006b7ddd33b7: crates/stats/tests/props.rs
+
+crates/stats/tests/props.rs:

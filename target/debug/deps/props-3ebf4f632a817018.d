@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-3ebf4f632a817018.d: crates/timeseries/tests/props.rs
+
+/root/repo/target/debug/deps/props-3ebf4f632a817018: crates/timeseries/tests/props.rs
+
+crates/timeseries/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-51e224274e0b2faa.d: crates/netsim/tests/props.rs
+
+/root/repo/target/debug/deps/props-51e224274e0b2faa: crates/netsim/tests/props.rs
+
+crates/netsim/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-897a0bf4273148bd.d: crates/glm/tests/props.rs
+
+/root/repo/target/debug/deps/props-897a0bf4273148bd: crates/glm/tests/props.rs
+
+crates/glm/tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-a4cf004853285377.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-a4cf004853285377: tests/props.rs
+
+tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation-6eb3b80bf7ee44e0.d: crates/bench/src/bin/repro_ablation.rs
+
+/root/repo/target/debug/deps/repro_ablation-6eb3b80bf7ee44e0: crates/bench/src/bin/repro_ablation.rs
+
+crates/bench/src/bin/repro_ablation.rs:

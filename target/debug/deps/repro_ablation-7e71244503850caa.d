@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation-7e71244503850caa.d: crates/bench/src/bin/repro_ablation.rs
+
+/root/repo/target/debug/deps/repro_ablation-7e71244503850caa: crates/bench/src/bin/repro_ablation.rs
+
+crates/bench/src/bin/repro_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-17db845f10bdf52a.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-17db845f10bdf52a: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

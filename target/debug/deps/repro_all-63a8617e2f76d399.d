@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-63a8617e2f76d399.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-63a8617e2f76d399: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

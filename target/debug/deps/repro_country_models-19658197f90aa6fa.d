@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_country_models-19658197f90aa6fa.d: crates/bench/src/bin/repro_country_models.rs
+
+/root/repo/target/debug/deps/repro_country_models-19658197f90aa6fa: crates/bench/src/bin/repro_country_models.rs
+
+crates/bench/src/bin/repro_country_models.rs:

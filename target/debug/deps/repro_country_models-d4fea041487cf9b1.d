@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_country_models-d4fea041487cf9b1.d: crates/bench/src/bin/repro_country_models.rs
+
+/root/repo/target/debug/deps/repro_country_models-d4fea041487cf9b1: crates/bench/src/bin/repro_country_models.rs
+
+crates/bench/src/bin/repro_country_models.rs:

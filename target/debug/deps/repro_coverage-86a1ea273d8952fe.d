@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_coverage-86a1ea273d8952fe.d: crates/bench/src/bin/repro_coverage.rs
+
+/root/repo/target/debug/deps/repro_coverage-86a1ea273d8952fe: crates/bench/src/bin/repro_coverage.rs
+
+crates/bench/src/bin/repro_coverage.rs:

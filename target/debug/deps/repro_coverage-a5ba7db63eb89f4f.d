@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_coverage-a5ba7db63eb89f4f.d: crates/bench/src/bin/repro_coverage.rs
+
+/root/repo/target/debug/deps/repro_coverage-a5ba7db63eb89f4f: crates/bench/src/bin/repro_coverage.rs
+
+crates/bench/src/bin/repro_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_detection-6ce95caa65191fa0.d: crates/bench/src/bin/repro_detection.rs
+
+/root/repo/target/debug/deps/repro_detection-6ce95caa65191fa0: crates/bench/src/bin/repro_detection.rs
+
+crates/bench/src/bin/repro_detection.rs:

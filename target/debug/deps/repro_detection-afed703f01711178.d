@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_detection-afed703f01711178.d: crates/bench/src/bin/repro_detection.rs
+
+/root/repo/target/debug/deps/repro_detection-afed703f01711178: crates/bench/src/bin/repro_detection.rs
+
+crates/bench/src/bin/repro_detection.rs:

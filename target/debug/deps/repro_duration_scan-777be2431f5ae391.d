@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_duration_scan-777be2431f5ae391.d: crates/bench/src/bin/repro_duration_scan.rs
+
+/root/repo/target/debug/deps/repro_duration_scan-777be2431f5ae391: crates/bench/src/bin/repro_duration_scan.rs
+
+crates/bench/src/bin/repro_duration_scan.rs:

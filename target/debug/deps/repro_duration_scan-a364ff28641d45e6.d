@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_duration_scan-a364ff28641d45e6.d: crates/bench/src/bin/repro_duration_scan.rs
+
+/root/repo/target/debug/deps/repro_duration_scan-a364ff28641d45e6: crates/bench/src/bin/repro_duration_scan.rs
+
+crates/bench/src/bin/repro_duration_scan.rs:

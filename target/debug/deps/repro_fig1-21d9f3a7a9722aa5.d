@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig1-21d9f3a7a9722aa5.d: crates/bench/src/bin/repro_fig1.rs
+
+/root/repo/target/debug/deps/repro_fig1-21d9f3a7a9722aa5: crates/bench/src/bin/repro_fig1.rs
+
+crates/bench/src/bin/repro_fig1.rs:

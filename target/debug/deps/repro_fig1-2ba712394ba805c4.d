@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig1-2ba712394ba805c4.d: crates/bench/src/bin/repro_fig1.rs
+
+/root/repo/target/debug/deps/repro_fig1-2ba712394ba805c4: crates/bench/src/bin/repro_fig1.rs
+
+crates/bench/src/bin/repro_fig1.rs:

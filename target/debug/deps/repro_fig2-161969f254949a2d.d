@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig2-161969f254949a2d.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/debug/deps/repro_fig2-161969f254949a2d: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig2-623d863bd3a114df.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/debug/deps/repro_fig2-623d863bd3a114df: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig3-013ab6a8d8043389.d: crates/bench/src/bin/repro_fig3.rs
+
+/root/repo/target/debug/deps/repro_fig3-013ab6a8d8043389: crates/bench/src/bin/repro_fig3.rs
+
+crates/bench/src/bin/repro_fig3.rs:

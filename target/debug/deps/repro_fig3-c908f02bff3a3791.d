@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig3-c908f02bff3a3791.d: crates/bench/src/bin/repro_fig3.rs
+
+/root/repo/target/debug/deps/repro_fig3-c908f02bff3a3791: crates/bench/src/bin/repro_fig3.rs
+
+crates/bench/src/bin/repro_fig3.rs:

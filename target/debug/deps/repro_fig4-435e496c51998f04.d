@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig4-435e496c51998f04.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/debug/deps/repro_fig4-435e496c51998f04: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig4-d9f462cc9d3c83b4.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/debug/deps/repro_fig4-d9f462cc9d3c83b4: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

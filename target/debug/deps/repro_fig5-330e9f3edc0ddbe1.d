@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig5-330e9f3edc0ddbe1.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/debug/deps/repro_fig5-330e9f3edc0ddbe1: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

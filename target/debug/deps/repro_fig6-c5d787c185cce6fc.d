@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-c5d787c185cce6fc.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-c5d787c185cce6fc: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

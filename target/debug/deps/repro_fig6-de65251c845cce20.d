@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-de65251c845cce20.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-de65251c845cce20: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

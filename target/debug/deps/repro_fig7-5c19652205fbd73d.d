@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig7-5c19652205fbd73d.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/debug/deps/repro_fig7-5c19652205fbd73d: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig7-d36692a18d13d6ae.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/debug/deps/repro_fig7-d36692a18d13d6ae: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig8-53732b20a237a094.d: crates/bench/src/bin/repro_fig8.rs
+
+/root/repo/target/debug/deps/repro_fig8-53732b20a237a094: crates/bench/src/bin/repro_fig8.rs
+
+crates/bench/src/bin/repro_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig8-b9aaf396a6bf835d.d: crates/bench/src/bin/repro_fig8.rs
+
+/root/repo/target/debug/deps/repro_fig8-b9aaf396a6bf835d: crates/bench/src/bin/repro_fig8.rs
+
+crates/bench/src/bin/repro_fig8.rs:

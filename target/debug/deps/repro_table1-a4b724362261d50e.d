@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-a4b724362261d50e.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-a4b724362261d50e: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-b0a7f44f8d266d42.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-b0a7f44f8d266d42: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

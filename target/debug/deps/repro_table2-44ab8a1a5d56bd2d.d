@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-44ab8a1a5d56bd2d.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-44ab8a1a5d56bd2d: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

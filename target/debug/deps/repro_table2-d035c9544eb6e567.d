@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-d035c9544eb6e567.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-d035c9544eb6e567: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-b17bc091d2d3f06d.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-b17bc091d2d3f06d: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

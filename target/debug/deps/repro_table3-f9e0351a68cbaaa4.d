@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-f9e0351a68cbaaa4.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-f9e0351a68cbaaa4: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

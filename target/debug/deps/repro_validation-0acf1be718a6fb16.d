@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_validation-0acf1be718a6fb16.d: crates/bench/src/bin/repro_validation.rs
+
+/root/repo/target/debug/deps/repro_validation-0acf1be718a6fb16: crates/bench/src/bin/repro_validation.rs
+
+crates/bench/src/bin/repro_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_validation-556dc1d0c0cfe318.d: crates/bench/src/bin/repro_validation.rs
+
+/root/repo/target/debug/deps/repro_validation-556dc1d0c0cfe318: crates/bench/src/bin/repro_validation.rs
+
+crates/bench/src/bin/repro_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke_seeded-6749aa894ae0c1e1.d: tests/smoke_seeded.rs
+
+/root/repo/target/debug/deps/smoke_seeded-6749aa894ae0c1e1: tests/smoke_seeded.rs
+
+tests/smoke_seeded.rs:

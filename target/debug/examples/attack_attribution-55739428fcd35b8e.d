@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_attribution-55739428fcd35b8e.d: examples/attack_attribution.rs
+
+/root/repo/target/debug/examples/attack_attribution-55739428fcd35b8e: examples/attack_attribution.rs
+
+examples/attack_attribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/honeypot_coverage-82f42a49f278c5ca.d: examples/honeypot_coverage.rs
+
+/root/repo/target/debug/examples/honeypot_coverage-82f42a49f278c5ca: examples/honeypot_coverage.rs
+
+examples/honeypot_coverage.rs:

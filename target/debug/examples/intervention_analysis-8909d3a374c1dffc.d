@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intervention_analysis-8909d3a374c1dffc.d: examples/intervention_analysis.rs
+
+/root/repo/target/debug/examples/intervention_analysis-8909d3a374c1dffc: examples/intervention_analysis.rs
+
+examples/intervention_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/market_simulation-9d1f345ba7244405.d: examples/market_simulation.rs
+
+/root/repo/target/debug/examples/market_simulation-9d1f345ba7244405: examples/market_simulation.rs
+
+examples/market_simulation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nca_adverts-e9a58ac5843dfb36.d: examples/nca_adverts.rs
+
+/root/repo/target/debug/examples/nca_adverts-e9a58ac5843dfb36: examples/nca_adverts.rs
+
+examples/nca_adverts.rs:

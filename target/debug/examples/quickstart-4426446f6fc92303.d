@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4426446f6fc92303.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4426446f6fc92303: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_figures-c0316f2c83b3f845.d: crates/bench/benches/bench_figures.rs
+
+/root/repo/target/release/deps/bench_figures-c0316f2c83b3f845: crates/bench/benches/bench_figures.rs
+
+crates/bench/benches/bench_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_glm-6035bd1af41e5c63.d: crates/bench/benches/bench_glm.rs
+
+/root/repo/target/release/deps/bench_glm-6035bd1af41e5c63: crates/bench/benches/bench_glm.rs
+
+crates/bench/benches/bench_glm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_market-ce94f5b9d36d4505.d: crates/bench/benches/bench_market.rs
+
+/root/repo/target/release/deps/bench_market-ce94f5b9d36d4505: crates/bench/benches/bench_market.rs
+
+crates/bench/benches/bench_market.rs:

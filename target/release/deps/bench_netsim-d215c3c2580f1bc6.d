@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_netsim-d215c3c2580f1bc6.d: crates/bench/benches/bench_netsim.rs
+
+/root/repo/target/release/deps/bench_netsim-d215c3c2580f1bc6: crates/bench/benches/bench_netsim.rs
+
+crates/bench/benches/bench_netsim.rs:

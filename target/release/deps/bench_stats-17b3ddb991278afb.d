@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_stats-17b3ddb991278afb.d: crates/bench/benches/bench_stats.rs
+
+/root/repo/target/release/deps/bench_stats-17b3ddb991278afb: crates/bench/benches/bench_stats.rs
+
+crates/bench/benches/bench_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_tables-118c23c837576486.d: crates/bench/benches/bench_tables.rs
+
+/root/repo/target/release/deps/bench_tables-118c23c837576486: crates/bench/benches/bench_tables.rs
+
+crates/bench/benches/bench_tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/booters_bench-7cd24565a5162add.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbooters_bench-7cd24565a5162add.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbooters_bench-7cd24565a5162add.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

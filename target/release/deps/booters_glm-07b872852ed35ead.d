@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/booters_glm-07b872852ed35ead.d: crates/glm/src/lib.rs crates/glm/src/family.rs crates/glm/src/inference.rs crates/glm/src/irls.rs crates/glm/src/link.rs crates/glm/src/negbin.rs crates/glm/src/ols.rs crates/glm/src/poisson.rs crates/glm/src/summary.rs
+
+/root/repo/target/release/deps/libbooters_glm-07b872852ed35ead.rlib: crates/glm/src/lib.rs crates/glm/src/family.rs crates/glm/src/inference.rs crates/glm/src/irls.rs crates/glm/src/link.rs crates/glm/src/negbin.rs crates/glm/src/ols.rs crates/glm/src/poisson.rs crates/glm/src/summary.rs
+
+/root/repo/target/release/deps/libbooters_glm-07b872852ed35ead.rmeta: crates/glm/src/lib.rs crates/glm/src/family.rs crates/glm/src/inference.rs crates/glm/src/irls.rs crates/glm/src/link.rs crates/glm/src/negbin.rs crates/glm/src/ols.rs crates/glm/src/poisson.rs crates/glm/src/summary.rs
+
+crates/glm/src/lib.rs:
+crates/glm/src/family.rs:
+crates/glm/src/inference.rs:
+crates/glm/src/irls.rs:
+crates/glm/src/link.rs:
+crates/glm/src/negbin.rs:
+crates/glm/src/ols.rs:
+crates/glm/src/poisson.rs:
+crates/glm/src/summary.rs:

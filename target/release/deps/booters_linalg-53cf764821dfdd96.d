@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/booters_linalg-53cf764821dfdd96.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs
+
+/root/repo/target/release/deps/libbooters_linalg-53cf764821dfdd96.rlib: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs
+
+/root/repo/target/release/deps/libbooters_linalg-53cf764821dfdd96.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/error.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/error.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/booters_stats-1673dfaa7ad82afe.d: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/special.rs crates/stats/src/tests.rs
+
+/root/repo/target/release/deps/libbooters_stats-1673dfaa7ad82afe.rlib: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/special.rs crates/stats/src/tests.rs
+
+/root/repo/target/release/deps/libbooters_stats-1673dfaa7ad82afe.rmeta: crates/stats/src/lib.rs crates/stats/src/describe.rs crates/stats/src/dist.rs crates/stats/src/special.rs crates/stats/src/tests.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/describe.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/special.rs:
+crates/stats/src/tests.rs:

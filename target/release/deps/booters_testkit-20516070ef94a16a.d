@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/booters_testkit-20516070ef94a16a.d: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/harness.rs crates/testkit/src/macros.rs crates/testkit/src/rng.rs crates/testkit/src/strategy.rs
+
+/root/repo/target/release/deps/libbooters_testkit-20516070ef94a16a.rlib: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/harness.rs crates/testkit/src/macros.rs crates/testkit/src/rng.rs crates/testkit/src/strategy.rs
+
+/root/repo/target/release/deps/libbooters_testkit-20516070ef94a16a.rmeta: crates/testkit/src/lib.rs crates/testkit/src/bench.rs crates/testkit/src/harness.rs crates/testkit/src/macros.rs crates/testkit/src/rng.rs crates/testkit/src/strategy.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/bench.rs:
+crates/testkit/src/harness.rs:
+crates/testkit/src/macros.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/strategy.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/booters_timeseries-80d8e09b04f91bf8.d: crates/timeseries/src/lib.rs crates/timeseries/src/correlate.rs crates/timeseries/src/date.rs crates/timeseries/src/design.rs crates/timeseries/src/easter.rs crates/timeseries/src/index.rs crates/timeseries/src/intervention.rs crates/timeseries/src/seasonal.rs crates/timeseries/src/series.rs crates/timeseries/src/smooth.rs
+
+/root/repo/target/release/deps/libbooters_timeseries-80d8e09b04f91bf8.rlib: crates/timeseries/src/lib.rs crates/timeseries/src/correlate.rs crates/timeseries/src/date.rs crates/timeseries/src/design.rs crates/timeseries/src/easter.rs crates/timeseries/src/index.rs crates/timeseries/src/intervention.rs crates/timeseries/src/seasonal.rs crates/timeseries/src/series.rs crates/timeseries/src/smooth.rs
+
+/root/repo/target/release/deps/libbooters_timeseries-80d8e09b04f91bf8.rmeta: crates/timeseries/src/lib.rs crates/timeseries/src/correlate.rs crates/timeseries/src/date.rs crates/timeseries/src/design.rs crates/timeseries/src/easter.rs crates/timeseries/src/index.rs crates/timeseries/src/intervention.rs crates/timeseries/src/seasonal.rs crates/timeseries/src/series.rs crates/timeseries/src/smooth.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/correlate.rs:
+crates/timeseries/src/date.rs:
+crates/timeseries/src/design.rs:
+crates/timeseries/src/easter.rs:
+crates/timeseries/src/index.rs:
+crates/timeseries/src/intervention.rs:
+crates/timeseries/src/seasonal.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/smooth.rs:

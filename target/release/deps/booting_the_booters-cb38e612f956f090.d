@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/booting_the_booters-cb38e612f956f090.d: src/lib.rs
+
+/root/repo/target/release/deps/libbooting_the_booters-cb38e612f956f090.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbooting_the_booters-cb38e612f956f090.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_ablation-f2179ffd2272805d.d: crates/bench/src/bin/repro_ablation.rs
+
+/root/repo/target/release/deps/repro_ablation-f2179ffd2272805d: crates/bench/src/bin/repro_ablation.rs
+
+crates/bench/src/bin/repro_ablation.rs:

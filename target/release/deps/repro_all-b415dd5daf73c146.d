@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-b415dd5daf73c146.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-b415dd5daf73c146: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

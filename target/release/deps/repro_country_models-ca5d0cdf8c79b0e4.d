@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_country_models-ca5d0cdf8c79b0e4.d: crates/bench/src/bin/repro_country_models.rs
+
+/root/repo/target/release/deps/repro_country_models-ca5d0cdf8c79b0e4: crates/bench/src/bin/repro_country_models.rs
+
+crates/bench/src/bin/repro_country_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_coverage-84e501fe3022795f.d: crates/bench/src/bin/repro_coverage.rs
+
+/root/repo/target/release/deps/repro_coverage-84e501fe3022795f: crates/bench/src/bin/repro_coverage.rs
+
+crates/bench/src/bin/repro_coverage.rs:

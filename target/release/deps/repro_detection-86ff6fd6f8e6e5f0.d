@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_detection-86ff6fd6f8e6e5f0.d: crates/bench/src/bin/repro_detection.rs
+
+/root/repo/target/release/deps/repro_detection-86ff6fd6f8e6e5f0: crates/bench/src/bin/repro_detection.rs
+
+crates/bench/src/bin/repro_detection.rs:

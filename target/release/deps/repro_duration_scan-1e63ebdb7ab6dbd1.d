@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_duration_scan-1e63ebdb7ab6dbd1.d: crates/bench/src/bin/repro_duration_scan.rs
+
+/root/repo/target/release/deps/repro_duration_scan-1e63ebdb7ab6dbd1: crates/bench/src/bin/repro_duration_scan.rs
+
+crates/bench/src/bin/repro_duration_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig1-66e1725e302991ce.d: crates/bench/src/bin/repro_fig1.rs
+
+/root/repo/target/release/deps/repro_fig1-66e1725e302991ce: crates/bench/src/bin/repro_fig1.rs
+
+crates/bench/src/bin/repro_fig1.rs:

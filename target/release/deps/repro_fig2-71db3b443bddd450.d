@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig2-71db3b443bddd450.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/release/deps/repro_fig2-71db3b443bddd450: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

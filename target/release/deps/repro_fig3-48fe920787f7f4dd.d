@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig3-48fe920787f7f4dd.d: crates/bench/src/bin/repro_fig3.rs
+
+/root/repo/target/release/deps/repro_fig3-48fe920787f7f4dd: crates/bench/src/bin/repro_fig3.rs
+
+crates/bench/src/bin/repro_fig3.rs:

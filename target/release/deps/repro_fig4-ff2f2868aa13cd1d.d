@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig4-ff2f2868aa13cd1d.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/release/deps/repro_fig4-ff2f2868aa13cd1d: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig5-abb1abe443bfcdd1.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/release/deps/repro_fig5-abb1abe443bfcdd1: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

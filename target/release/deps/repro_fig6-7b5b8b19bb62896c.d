@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig6-7b5b8b19bb62896c.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/release/deps/repro_fig6-7b5b8b19bb62896c: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

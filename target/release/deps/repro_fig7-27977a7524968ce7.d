@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig7-27977a7524968ce7.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/release/deps/repro_fig7-27977a7524968ce7: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

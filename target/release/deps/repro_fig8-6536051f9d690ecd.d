@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig8-6536051f9d690ecd.d: crates/bench/src/bin/repro_fig8.rs
+
+/root/repo/target/release/deps/repro_fig8-6536051f9d690ecd: crates/bench/src/bin/repro_fig8.rs
+
+crates/bench/src/bin/repro_fig8.rs:

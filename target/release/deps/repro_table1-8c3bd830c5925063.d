@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1-8c3bd830c5925063.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/release/deps/repro_table1-8c3bd830c5925063: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

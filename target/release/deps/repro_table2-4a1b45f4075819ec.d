@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table2-4a1b45f4075819ec.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/release/deps/repro_table2-4a1b45f4075819ec: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table3-e9a90bad6ac5e3d4.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/release/deps/repro_table3-e9a90bad6ac5e3d4: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_validation-7d6dcaa68c523c7f.d: crates/bench/src/bin/repro_validation.rs
+
+/root/repo/target/release/deps/repro_validation-7d6dcaa68c523c7f: crates/bench/src/bin/repro_validation.rs
+
+crates/bench/src/bin/repro_validation.rs:

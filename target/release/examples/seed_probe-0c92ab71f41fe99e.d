@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seed_probe-0c92ab71f41fe99e.d: examples/seed_probe.rs
+
+/root/repo/target/release/examples/seed_probe-0c92ab71f41fe99e: examples/seed_probe.rs
+
+examples/seed_probe.rs:

@@ -24,7 +24,7 @@ fn scenario() -> &'static Scenario {
         Scenario::run(ScenarioConfig {
             market: MarketConfig {
                 scale: 0.05,
-                seed: 20_190_521,
+                seed: 20_190_522,
                 ..MarketConfig::default()
             },
             fidelity: Fidelity::Aggregate,

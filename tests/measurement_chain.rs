@@ -10,8 +10,8 @@ use booting_the_booters::market::market::{MarketConfig, MarketSim};
 use booting_the_booters::netsim::flow::{classify_flows, FlowClass, FLOW_GAP_SECS};
 use booting_the_booters::netsim::{Engine, EngineConfig};
 use booting_the_booters::timeseries::Date;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use booters_testkit::rngs::StdRng;
+use booters_testkit::SeedableRng;
 
 fn short_window_config(fidelity: Fidelity, seed: u64) -> ScenarioConfig {
     let mut cal = Calibration::default();

@@ -10,8 +10,8 @@ use booting_the_booters::glm::irls::IrlsOptions;
 use booting_the_booters::stats::dist::NegativeBinomial;
 use booting_the_booters::timeseries::design::{its_design, DesignConfig};
 use booting_the_booters::timeseries::{Date, InterventionWindow, WeeklySeries};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use booters_testkit::rngs::StdRng;
+use booters_testkit::SeedableRng;
 
 /// Simulate a paper-shaped weekly series with known coefficients.
 fn simulate_series(seed: u64, intervention_coef: f64) -> (WeeklySeries, Vec<InterventionWindow>) {

@@ -7,7 +7,7 @@ use booting_the_booters::market::calibration::Calibration;
 use booting_the_booters::market::market::MarketConfig;
 use booting_the_booters::netsim::{Country, UdpProtocol};
 use booting_the_booters::timeseries::Date;
-use proptest::prelude::*;
+use booters_testkit::{any, forall, prop_assert, prop_assert_eq};
 
 /// A short scenario window keeps each proptest case fast.
 fn short_scenario(seed: u64, scale_milli: u64) -> Scenario {
@@ -26,10 +26,9 @@ fn short_scenario(seed: u64, scale_milli: u64) -> Scenario {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+forall! {
+    #![cases(12)]
 
-    #[test]
     fn scenario_invariants_hold_for_any_seed(seed in any::<u64>(), scale_milli in 2u64..30) {
         let s = short_scenario(seed, scale_milli);
         let n = s.honeypot.global.len();
@@ -61,7 +60,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn scale_shifts_volume_proportionally(seed in 0u64..1000) {
         let small = short_scenario(seed, 5);
         let large = short_scenario(seed, 20);

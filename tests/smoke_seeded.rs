@@ -1,0 +1,79 @@
+//! Seeded smoke test: one fixed-seed run through the full pipeline must
+//! (a) recover Table 1's effect directions — every significant
+//! intervention in the paper *reduces* attacks — and (b) be exactly
+//! reproducible: the same seed renders a byte-identical Table 1 report.
+
+use booting_the_booters::core::pipeline::{fit_global, PipelineConfig};
+use booting_the_booters::core::report::table1;
+use booting_the_booters::core::scenario::{Fidelity, Scenario, ScenarioConfig};
+use booting_the_booters::market::calibration::Calibration;
+use booting_the_booters::market::market::MarketConfig;
+
+const SMOKE_SEED: u64 = 0x5EED_B007;
+
+fn run(seed: u64) -> Scenario {
+    Scenario::run(ScenarioConfig {
+        market: MarketConfig {
+            scale: 0.05,
+            seed,
+            ..MarketConfig::default()
+        },
+        fidelity: Fidelity::Aggregate,
+        ..ScenarioConfig::default()
+    })
+}
+
+#[test]
+fn nb2_intervention_signs_match_table1() {
+    let s = run(SMOKE_SEED);
+    let cal = Calibration::default();
+    let fit = fit_global(&s.honeypot, &cal, &PipelineConfig::default()).unwrap();
+    let effects = fit.intervention_effects();
+    assert_eq!(effects.len(), 5, "Table 1 has five interventions");
+    for e in &effects {
+        // Table 1: every intervention coefficient is negative (attacks
+        // drop); the NL reprisal is a country-level (Table 2) effect and
+        // must not flip the global sign.
+        assert!(
+            e.coef < 0.0,
+            "{}: coef {} (mean {:.1}%) should be negative per Table 1",
+            e.name,
+            e.coef,
+            e.mean_pct
+        );
+    }
+    // The two headline effects are also individually significant.
+    for name in ["Xmas 2018 event", "Hackforums booter market ban"] {
+        let e = effects
+            .iter()
+            .find(|e| e.name.contains(name.split(' ').next().unwrap()))
+            .unwrap_or_else(|| panic!("{name} missing from effects"));
+        assert!(e.significant(), "{}: p={}", e.name, e.p_value);
+    }
+}
+
+#[test]
+fn same_seed_renders_byte_identical_report() {
+    let cal = Calibration::default();
+    let cfg = PipelineConfig::default();
+    let render = || {
+        let s = run(SMOKE_SEED);
+        table1(&fit_global(&s.honeypot, &cal, &cfg).unwrap())
+    };
+    let first = render();
+    let second = render();
+    assert!(
+        first == second,
+        "same-seed reports differ:\n--- first ---\n{first}\n--- second ---\n{second}"
+    );
+    assert!(first.contains("Xmas 2018 event"));
+}
+
+#[test]
+fn different_seeds_give_different_data() {
+    // Sanity check on the reproducibility claim: the determinism comes
+    // from the seed, not from the pipeline ignoring the data.
+    let a = run(SMOKE_SEED).honeypot.global.total();
+    let b = run(SMOKE_SEED ^ 1).honeypot.global.total();
+    assert_ne!(a, b, "distinct seeds should perturb the simulated counts");
+}
