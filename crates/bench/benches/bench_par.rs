@@ -1,0 +1,94 @@
+//! Parallel-executor benchmarks: the two hot paths `booters-par` fans
+//! out — per-country Table-2 fits and packet-flow grouping — measured
+//! sequentially and at 2/4/8 worker threads via the thread-local
+//! override, so one run emits the full scaling comparison regardless of
+//! `BOOTERS_THREADS`.
+//!
+//! Speedup is hardware-bound: on a single-core host the threaded runs
+//! only measure executor overhead. The determinism contract is what the
+//! test suite pins; these numbers pin the cost of it.
+
+use booters_bench::{pipeline_config, repro_config};
+use booters_core::pipeline::fit_countries;
+use booters_core::scenario::Scenario;
+use booters_market::calibration::Calibration;
+use booters_netsim::{
+    group_flows_par, AttackCommand, Engine, EngineConfig, UdpProtocol, VictimAddr,
+};
+use booters_netsim::flow::VictimKey;
+use booters_netsim::packet::SensorPacket;
+use booters_testkit::bench::Criterion;
+use booters_testkit::{bench_group, bench_main};
+use std::hint::black_box;
+
+const BENCH_SCALE: f64 = 0.02;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_country_fits(c: &mut Criterion) {
+    let scenario = Scenario::run(repro_config(BENCH_SCALE));
+    let cal = Calibration::default();
+    let cfg = pipeline_config();
+    let countries = Calibration::table2_countries();
+    let mut group = c.benchmark_group("country_fits");
+    group.sample_size(10);
+    for threads in THREADS {
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                booters_par::with_threads(threads, || {
+                    let fits =
+                        fit_countries(&scenario.honeypot, &cal, &countries, &cfg).unwrap();
+                    black_box(fits.len())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A week of commands against a spread of victims and protocols — enough
+/// packets that the 15-minute-gap grouping dominates the sharding cost.
+fn sample_packets() -> Vec<SensorPacket> {
+    let mut engine = Engine::new(EngineConfig::default());
+    let protocols = [
+        UdpProtocol::Ldap,
+        UdpProtocol::Ntp,
+        UdpProtocol::Dns,
+        UdpProtocol::Ssdp,
+        UdpProtocol::Chargen,
+    ];
+    let cmds: Vec<AttackCommand> = (0..400u32)
+        .map(|i| AttackCommand {
+            time: 600 * i as u64,
+            victim: VictimAddr::from_octets(25, (i % 7) as u8, (i / 7) as u8, 1),
+            protocol: protocols[i as usize % protocols.len()],
+            duration_secs: 300,
+            packets_per_second: 50_000,
+            booter: i % 23,
+            avoids_honeypots: i % 5 == 0,
+        })
+        .collect();
+    engine.simulate_attacks_batch(&cmds)
+}
+
+fn bench_flow_grouping(c: &mut Criterion) {
+    let packets = sample_packets();
+    let mut group = c.benchmark_group("flow_grouping");
+    group.sample_size(10);
+    for threads in THREADS {
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                booters_par::with_threads(threads, || {
+                    black_box(group_flows_par(&packets, VictimKey::ByIp).len())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+bench_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_country_fits, bench_flow_grouping
+}
+bench_main!(benches);

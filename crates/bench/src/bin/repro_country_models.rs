@@ -14,16 +14,16 @@ fn main() {
     let cal = Calibration::default();
     let cfg = pipeline_config();
 
-    let mut out = String::new();
-    for country in Calibration::table2_countries() {
+    // Fit every country in parallel; blocks are joined in table order, so
+    // the artifact is identical at every BOOTERS_THREADS setting.
+    let countries = Calibration::table2_countries();
+    let blocks = booters_par::par_map(&countries, |&country| {
         match country_model_detail(&scenario.honeypot, &cal, country, &cfg) {
-            Ok(text) => {
-                out.push_str(&text);
-                out.push_str("\n----------------------------------------\n\n");
-            }
-            Err(e) => out.push_str(&format!("{country}: model failed: {e}\n")),
+            Ok(text) => format!("{text}\n----------------------------------------\n\n"),
+            Err(e) => format!("{country}: model failed: {e}\n"),
         }
-    }
+    });
+    let out = blocks.concat();
     println!("{out}");
     write_artifact("country_models.txt", &out);
 }

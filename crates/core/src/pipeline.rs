@@ -222,6 +222,20 @@ pub fn fit_country(
     Ok(CountryResult { country, model })
 }
 
+/// Fit every listed country's Table 2 model, fanning the independent fits
+/// out over the `booters-par` executor. Results come back in input order
+/// and — because each fit is a deterministic function of its own series —
+/// are bit-identical at every `BOOTERS_THREADS` setting; with one thread
+/// this is the plain sequential loop the renderer used to run.
+pub fn fit_countries(
+    ds: &HoneypotDataset,
+    cal: &Calibration,
+    countries: &[Country],
+    cfg: &PipelineConfig,
+) -> Result<Vec<CountryResult>, GlmError> {
+    booters_par::par_map_collect(countries, |&country| fit_country(ds, cal, country, cfg))
+}
+
 /// Model diagnostics for a fitted ITS model.
 #[derive(Debug, Clone, Copy)]
 pub struct ModelDiagnostics {
@@ -355,6 +369,11 @@ pub fn trend_break_test(
 /// others fixed, and return `(best_duration, its_log_likelihood)` by
 /// profile likelihood — the automated version of the paper's "periods
 /// ... which drop significantly below the modelled series" window tuning.
+///
+/// The candidate refits are independent, so they fan out over the
+/// `booters-par` executor; the reduction walks the profile in submission
+/// order with a strictly-greater comparison, so ties resolve to the
+/// earliest candidate exactly as the sequential loop always did.
 pub fn scan_duration(
     series: &WeeklySeries,
     windows: &[InterventionWindow],
@@ -364,12 +383,13 @@ pub fn scan_duration(
 ) -> Result<(usize, f64), GlmError> {
     assert!(target < windows.len(), "target window index out of range");
     assert!(!candidates.is_empty(), "need at least one candidate duration");
-    let mut best: Option<(usize, f64)> = None;
-    for &d in candidates {
+    let profile = booters_par::par_map_collect(candidates, |&d| {
         let mut ws = windows.to_vec();
         ws[target] = ws[target].with_duration(d);
-        let r = fit_series(series, &ws, cfg)?;
-        let ll = r.fit.log_likelihood;
+        fit_series(series, &ws, cfg).map(|r| (d, r.fit.log_likelihood))
+    })?;
+    let mut best: Option<(usize, f64)> = None;
+    for (d, ll) in profile {
         if best.is_none_or(|(_, b)| ll > b) {
             best = Some((d, ll));
         }

@@ -6,7 +6,7 @@
 
 use crate::datasets::{HoneypotDataset, SelfReportDataset};
 use crate::pipeline::{
-    fit_country, fit_global, CountryResult, GlobalModelResult, PipelineConfig,
+    fit_countries, fit_country, fit_global, GlobalModelResult, PipelineConfig,
 };
 use booters_glm::summary::negbin_summary;
 use booters_glm::GlmError;
@@ -34,10 +34,7 @@ pub fn table2(
     cfg: &PipelineConfig,
 ) -> Result<String, GlmError> {
     let countries = Calibration::table2_countries();
-    let mut fits: Vec<CountryResult> = Vec::new();
-    for &c in &countries {
-        fits.push(fit_country(ds, cal, c, cfg)?);
-    }
+    let fits = fit_countries(ds, cal, &countries, cfg)?;
     let overall = fit_global(ds, cal, cfg)?;
 
     let mut out = String::from("Table 2: intervention effects by country of victim\n\n");

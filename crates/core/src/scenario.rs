@@ -20,8 +20,10 @@
 use crate::datasets::{CounterHistory, HoneypotDataset, SelfReportDataset};
 use booters_market::commands::commands_for_week;
 use booters_market::market::{sample_binomial, MarketConfig, MarketSim, WeekOutput};
-use booters_netsim::flow::{FlowClass, FlowGrouper};
-use booters_netsim::{AttackCommand, Country, Engine, EngineConfig, UdpProtocol, VictimAddr};
+use booters_netsim::flow::{FlowClass, VictimKey};
+use booters_netsim::{
+    group_flows_par, AttackCommand, Country, Engine, EngineConfig, UdpProtocol, VictimAddr,
+};
 use booters_timeseries::Date;
 use booters_testkit::rngs::StdRng;
 use booters_testkit::SeedableRng;
@@ -234,18 +236,14 @@ fn coverage_rate_aggregate(
 
 /// Full-packet fidelity: simulate every sampled command's packets, group
 /// flows, classify, and return the fraction of commands recovered as
-/// attacks.
+/// attacks. Packet synthesis and flow grouping both fan out over the
+/// `booters-par` executor; the result is identical at every thread count.
 fn full_packet_rate(engine: &mut Engine, cmds: &[AttackCommand]) -> f64 {
     if cmds.is_empty() {
         return 1.0;
     }
-    let mut grouper = FlowGrouper::new();
-    for cmd in cmds {
-        for p in engine.simulate_attack_packets(cmd) {
-            grouper.push(&p);
-        }
-    }
-    let flows = grouper.finish();
+    let packets = engine.simulate_attacks_batch(cmds);
+    let flows = group_flows_par(&packets, VictimKey::ByIp);
     let attacks = flows
         .iter()
         .filter(|f| f.classify() == FlowClass::Attack)

@@ -209,6 +209,64 @@ impl Engine {
         packets
     }
 
+    /// Deterministic parallel batch generation: the packet logs for many
+    /// commands at once, on the configured thread count.
+    ///
+    /// Three phases keep the output a pure function of the engine state
+    /// and the command list, independent of thread count:
+    ///
+    /// 1. **Prepare (sequential).** Reflector lists are resolved through
+    ///    the shared engine RNG in submission order — exactly the draws a
+    ///    sequential loop would make — and one batch seed is drawn.
+    /// 2. **Synthesise (parallel).** Each command's packets are generated
+    ///    from its own RNG stream, split off the batch seed by submission
+    ///    index ([`booters_par::stream_seed`]); results merge in
+    ///    submission order.
+    /// 3. **Replay (sequential).** Packets pass through the fleet's
+    ///    reflect/absorb machinery in submission order, and the merged log
+    ///    is stably sorted by time.
+    ///
+    /// Note the per-command jitter streams differ from those of repeated
+    /// [`Engine::simulate_attack_packets`] calls (which interleave one
+    /// shared stream); the batch API trades that stream compatibility for
+    /// thread-count invariance. Flow classification agrees between the
+    /// two paths — a test pins that.
+    pub fn simulate_attacks_batch(&mut self, cmds: &[AttackCommand]) -> Vec<SensorPacket> {
+        let ws = self.config.working_set;
+        let cap = self.config.packet_log_cap;
+        // Phase 1: sequential, stateful — same draw order at any thread
+        // count.
+        let batch_seed: u64 = self.rng.gen();
+        let mut prepared: Vec<(AttackCommand, Vec<u32>, u64)> = Vec::with_capacity(cmds.len());
+        for cmd in cmds {
+            let st = self.list_for(cmd.booter, cmd.protocol, cmd.time, cmd.avoids_honeypots);
+            let per_sensor = Engine::per_honeypot_packets(cmd, &st.list, ws);
+            prepared.push((*cmd, st.list.honeypots.clone(), per_sensor));
+        }
+        // Phase 2: parallel, pure.
+        let per_cmd: Vec<Vec<SensorPacket>> =
+            booters_par::par_map_indexed(&prepared, |i, (cmd, honeypots, per_sensor)| {
+                synthesize_packets(
+                    cmd,
+                    honeypots,
+                    *per_sensor,
+                    cap,
+                    booters_par::stream_seed(batch_seed, i as u64),
+                )
+            });
+        // Phase 3: sequential replay in submission order.
+        let mut packets: Vec<SensorPacket> = Vec::new();
+        for generated in per_cmd {
+            for p in &generated {
+                self.fleet
+                    .handle_packet(p.sensor, p.time, p.victim, p.protocol, false);
+            }
+            packets.extend(generated);
+        }
+        packets.sort_by_key(|p| p.time);
+        packets
+    }
+
     /// Generate white-hat / background scan noise over `[from, to)`:
     /// `scans` scan events, each touching a few sensors with ≤5 packets
     /// (classified as scans by the pipeline — exercised to prove the
@@ -252,6 +310,43 @@ impl Engine {
     pub fn maintain(&mut self, now: u64) {
         self.fleet.expire_blocklist(now, 86_400);
     }
+}
+
+/// Pure per-command packet synthesis for the batch path: the generation
+/// loop of [`Engine::simulate_attack_packets`], driven by a private
+/// per-command RNG stream instead of the shared engine generator.
+fn synthesize_packets(
+    cmd: &AttackCommand,
+    honeypots: &[u32],
+    per_sensor: u64,
+    packet_log_cap: u32,
+    seed: u64,
+) -> Vec<SensorPacket> {
+    if honeypots.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let logged = per_sensor.min(packet_log_cap as u64) as u32;
+    let mut packets = Vec::with_capacity(honeypots.len() * logged as usize);
+    let dur = cmd.duration_secs.max(1) as u64;
+    let fp = BooterFingerprint::for_booter(cmd.booter);
+    for &sensor in honeypots {
+        for k in 0..logged {
+            let base = cmd.time + k as u64 * dur / logged.max(1) as u64;
+            let jitter = rng.gen_range(0..(dur / logged.max(1) as u64).max(1));
+            let time = base + jitter;
+            packets.push(SensorPacket {
+                time,
+                sensor,
+                victim: cmd.victim,
+                protocol: cmd.protocol,
+                ttl: fp.observed_ttl(&mut rng),
+                src_port: fp.source_port(&mut rng),
+            });
+        }
+    }
+    packets.sort_by_key(|p| p.time);
+    packets
 }
 
 #[cfg(test)]
@@ -384,6 +479,71 @@ mod tests {
         };
         let packets = e.simulate_attack_packets(&c);
         assert!(packets.iter().all(|p| p.victim.country() == Country::Nl));
+    }
+
+    #[test]
+    fn batch_generation_is_thread_count_invariant() {
+        let cmds: Vec<AttackCommand> = (0..20)
+            .map(|i| {
+                let mut c = cmd(i * 2_000, UdpProtocol::ALL[i as usize % 10], i as u32);
+                c.victim = VictimAddr::from_octets(25, 0, i as u8, 1);
+                c
+            })
+            .collect();
+        let run = |threads: usize| {
+            booters_par::with_threads(threads, || {
+                let mut e = Engine::new(EngineConfig::default());
+                e.simulate_attacks_batch(&cmds)
+            })
+        };
+        let baseline = run(1);
+        assert!(!baseline.is_empty());
+        for t in [2usize, 4, 8] {
+            assert_eq!(run(t), baseline, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn batch_classification_agrees_with_per_command_path() {
+        // Distinct victims so flows never merge across commands: the
+        // batch trace must classify exactly the commands would_observe
+        // says are observable as attacks.
+        let cmds: Vec<AttackCommand> = (0..12)
+            .map(|i| {
+                let mut c = cmd(i * 5_000, UdpProtocol::ALL[i as usize % 10], 100 + i as u32);
+                c.victim = VictimAddr::from_octets(25, 1, i as u8, 7);
+                c
+            })
+            .collect();
+        let mut oracle = Engine::new(EngineConfig::default());
+        let expected = cmds.iter().filter(|c| oracle.would_observe(c)).count();
+        let mut e = Engine::new(EngineConfig::default());
+        let packets = e.simulate_attacks_batch(&cmds);
+        let attacks = crate::flow::classify_flows_par(&packets)
+            .iter()
+            .filter(|(_, cl)| *cl == FlowClass::Attack)
+            .count();
+        assert_eq!(attacks, expected);
+    }
+
+    #[test]
+    fn batch_output_is_time_ordered_and_feeds_the_fleet() {
+        let cmds: Vec<AttackCommand> = (0..6)
+            .map(|i| cmd(i * 1_000, UdpProtocol::Chargen, 50 + i as u32))
+            .collect();
+        let mut e = Engine::new(EngineConfig::default());
+        let packets = e.simulate_attacks_batch(&cmds);
+        for w in packets.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        let fleet_total = e.fleet().reflected_packets + e.fleet().absorbed_packets;
+        assert_eq!(fleet_total, packets.len() as u64);
+    }
+
+    #[test]
+    fn batch_on_empty_command_list_is_empty() {
+        let mut e = Engine::new(EngineConfig::default());
+        assert!(e.simulate_attacks_batch(&[]).is_empty());
     }
 
     #[test]

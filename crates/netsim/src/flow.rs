@@ -9,6 +9,7 @@
 use crate::addr::VictimAddr;
 use crate::packet::SensorPacket;
 use crate::protocol::UdpProtocol;
+use booters_testkit::rng::SplitMix64;
 use std::collections::HashMap;
 
 /// The flow-closing gap: 15 minutes, in seconds.
@@ -199,6 +200,77 @@ impl FlowGrouper {
     }
 }
 
+/// Deterministic shard id for one flow key: a splitmix64 mix of the
+/// canonical victim and protocol, reduced mod `shards`. Depends only on
+/// the key — never on thread count, schedule, or process state (unlike
+/// `HashMap`'s per-process-random hasher).
+fn shard_of(victim: VictimAddr, protocol: UdpProtocol, shards: usize) -> usize {
+    let mixed = SplitMix64::new(((victim.0 as u64) << 8) ^ protocol.index() as u64).next_u64();
+    (mixed % shards as u64) as usize
+}
+
+/// Sort flows into the canonical, scheduler-independent order:
+/// `(start, victim, protocol, end)`. The tuple is unique per flow — two
+/// flows of the same key are separated by at least [`FLOW_GAP_SECS`], and
+/// flows of different keys differ in victim or protocol — so the result
+/// is one total order regardless of how the flows were produced.
+pub fn sort_flows(flows: &mut [Flow]) {
+    flows.sort_by_key(|f| (f.start, f.victim.0, f.protocol.index(), f.end));
+}
+
+/// Group a packet trace into flows on the configured thread count,
+/// sharded by victim/protocol key and merged deterministically.
+///
+/// Packets must be in non-decreasing time order (as
+/// [`FlowGrouper::push`] requires). A flow depends only on the packets of
+/// its own key, and sharding by key preserves their relative order, so the
+/// merged output — canonicalised by [`sort_flows`] — is **bit-identical**
+/// at every thread count, including the sequential `threads = 1` path,
+/// which runs one plain [`FlowGrouper`] exactly like [`classify_flows`].
+pub fn group_flows_par(packets: &[SensorPacket], key: VictimKey) -> Vec<Flow> {
+    let threads = booters_par::threads();
+    let mut flows = if threads <= 1 || packets.len() < 2 {
+        let mut grouper = FlowGrouper::with_key(key);
+        for p in packets {
+            grouper.push(p);
+        }
+        grouper.finish()
+    } else {
+        // Over-decompose slightly so one hot shard doesn't serialise the
+        // run; the shard count affects scheduling only, never results.
+        let shards = threads * 2;
+        let mut buckets: Vec<Vec<SensorPacket>> = vec![Vec::new(); shards];
+        for p in packets {
+            buckets[shard_of(key.canonical(p.victim), p.protocol, shards)].push(*p);
+        }
+        booters_par::par_map(&buckets, |bucket| {
+            let mut grouper = FlowGrouper::with_key(key);
+            for p in bucket {
+                grouper.push(p);
+            }
+            grouper.finish()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    sort_flows(&mut flows);
+    flows
+}
+
+/// Parallel [`classify_flows`]: group on the configured thread count and
+/// classify each flow. Output order is canonical (see [`sort_flows`]) and
+/// thread-count invariant.
+pub fn classify_flows_par(packets: &[SensorPacket]) -> Vec<(Flow, FlowClass)> {
+    group_flows_par(packets, VictimKey::ByIp)
+        .into_iter()
+        .map(|f| {
+            let class = f.classify();
+            (f, class)
+        })
+        .collect()
+}
+
 /// Group a complete packet trace and classify each flow.
 pub fn classify_flows(packets: &[SensorPacket]) -> Vec<(Flow, FlowClass)> {
     let mut grouper = FlowGrouper::new();
@@ -358,6 +430,80 @@ mod tests {
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].total_packets, 12);
         assert_eq!(flows[0].classify(), FlowClass::Attack);
+    }
+
+    /// A busy mixed trace: several victims and protocols, bursts and
+    /// gaps, built deterministically.
+    fn mixed_trace() -> Vec<SensorPacket> {
+        let mut t = Vec::new();
+        for v in 0..24u8 {
+            let proto = UdpProtocol::ALL[v as usize % UdpProtocol::ALL.len()];
+            let base = (v as u64 % 5) * 40;
+            // First burst: enough on one sensor to classify as attack for
+            // even victims, spread thin for odd ones.
+            for i in 0..8u64 {
+                let sensor = if v % 2 == 0 { 0 } else { i as u32 };
+                t.push(pkt(base + i * 30, sensor, v, proto));
+            }
+            // Second burst after a closing gap.
+            for i in 0..3u64 {
+                t.push(pkt(base + 8 * 30 + FLOW_GAP_SECS + i * 20, 1, v, proto));
+            }
+        }
+        t.sort_by_key(|p| p.time);
+        t
+    }
+
+    #[test]
+    fn parallel_grouping_matches_sequential_at_every_thread_count() {
+        let trace = mixed_trace();
+        let baseline = booters_par::with_threads(1, || classify_flows_par(&trace));
+        // The sequential par path equals plain classify_flows up to the
+        // canonical sort.
+        let mut plain: Vec<Flow> = classify_flows(&trace).into_iter().map(|(f, _)| f).collect();
+        sort_flows(&mut plain);
+        assert_eq!(
+            baseline.iter().map(|(f, _)| f.clone()).collect::<Vec<_>>(),
+            plain
+        );
+        for threads in [2usize, 3, 4, 8] {
+            let par = booters_par::with_threads(threads, || classify_flows_par(&trace));
+            assert_eq!(par, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_grouping_respects_victim_key() {
+        // Carpet-bombing trace: by-prefix must merge, by-IP must not —
+        // under the parallel path too.
+        let packets: Vec<SensorPacket> = (0..12u64)
+            .map(|i| SensorPacket {
+                time: i,
+                sensor: 0,
+                victim: VictimAddr::from_octets(25, 0, 0, (i % 12) as u8),
+                protocol: UdpProtocol::Ntp,
+                ttl: 54,
+                src_port: 80,
+            })
+            .collect();
+        booters_par::with_threads(4, || {
+            assert_eq!(group_flows_par(&packets, VictimKey::ByIp).len(), 12);
+            let merged = group_flows_par(&packets, VictimKey::ByPrefix24);
+            assert_eq!(merged.len(), 1);
+            assert_eq!(merged[0].classify(), FlowClass::Attack);
+        });
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 7, 16] {
+            for v in 0..50u32 {
+                let victim = VictimAddr(v * 7919);
+                let s = shard_of(victim, UdpProtocol::Ldap, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(victim, UdpProtocol::Ldap, shards));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! The chunked scoped executor behind `par_map` and friends.
+//!
+//! Work distribution is dynamic (workers pull chunks off a shared atomic
+//! cursor, so an expensive item does not stall the rest), but reduction is
+//! static: every result carries its submission index and the pool sorts by
+//! that index before returning. The output is therefore a pure function of
+//! the input — never of the schedule.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Chunks handed out per worker (over-decomposition for load balance; the
+/// value only affects scheduling granularity, never results).
+const CHUNKS_PER_WORKER: usize = 4;
+
+fn chunk_len(items: usize, workers: usize) -> usize {
+    items.div_ceil(workers * CHUNKS_PER_WORKER).max(1)
+}
+
+/// Map `f` over `items` on the configured thread count, returning results
+/// in submission order. With one thread (or ≤ 1 item, or inside a pool
+/// worker) this is exactly `items.iter().map(f).collect()`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items, |_, x| f(x))
+}
+
+/// [`par_map`] whose closure also receives the item's submission index —
+/// the hook for per-task RNG stream splitting via
+/// [`stream_seed`](crate::stream_seed).
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = crate::threads().min(items.len());
+    if workers <= 1 {
+        // Sequential fallback: the exact code path the pre-executor
+        // callers ran.
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    run_on_pool(items, workers, &f)
+}
+
+/// Run `f` for each item on the configured thread count. Side effects must
+/// be independent per item; completion order is unspecified, but the call
+/// returns only after every item ran (or propagates the first panic by
+/// submission order among those observed).
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    par_map_indexed(items, |_, x| f(x));
+}
+
+/// Fallible ordered map: apply `f` to every item and collect into
+/// `Result<Vec<U>, E>`, returning the error of the **earliest failing
+/// item** (submission order), never of whichever task failed first on the
+/// clock. On the parallel path all items are evaluated even when one
+/// errors, so the returned error is schedule-independent; the sequential
+/// path short-circuits like plain `collect()`.
+pub fn par_map_collect<T, U, E, F>(items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    let workers = crate::threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    run_on_pool(items, workers, &|_, x| f(x)).into_iter().collect()
+}
+
+/// The scoped pool: spawn `workers` threads, hand out chunks off an atomic
+/// cursor, join everything, then merge results by submission index.
+///
+/// A panicking task sets the abort flag (other workers stop at their next
+/// chunk boundary — no hang, no orphan threads: `thread::scope` joins them
+/// all) and the lowest-index captured panic is resumed on the caller.
+fn run_on_pool<T, U, F>(items: &[T], workers: usize, f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let chunk = chunk_len(items.len(), workers);
+    let n_chunks = items.len().div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+
+    let mut tagged: Vec<(usize, U)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    crate::enter_pool();
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    while !abort.load(Ordering::Relaxed) {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let start = c * chunk;
+                        let end = (start + chunk).min(items.len());
+                        for i in start..end {
+                            match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                                Ok(v) => local.push((i, v)),
+                                Err(payload) => {
+                                    abort.store(true, Ordering::Relaxed);
+                                    panics.lock().expect("panic log poisoned").push((i, payload));
+                                    return local;
+                                }
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            // Worker bodies catch task panics, so join itself cannot fail.
+            tagged.extend(h.join().expect("pool worker crashed outside a task"));
+        }
+    });
+
+    let mut panics = panics.into_inner().expect("panic log poisoned");
+    if !panics.is_empty() {
+        panics.sort_by_key(|(i, _)| *i);
+        resume_unwind(panics.remove(0).1);
+    }
+
+    // Submission-order reduction: indices are unique, so this sort yields
+    // one canonical order regardless of which worker produced what.
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(tagged.len(), items.len(), "executor lost results");
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_len_covers_all_items() {
+        for items in [0usize, 1, 2, 3, 7, 100, 1001] {
+            for workers in [1usize, 2, 4, 8] {
+                let c = chunk_len(items, workers);
+                assert!(c >= 1);
+                assert!(c * items.div_ceil(c.max(1)) >= items);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for t in [1usize, 2, 3, 4, 8] {
+            let got = crate::with_threads(t, || par_map(&items, |x| x * x + 1));
+            assert_eq!(got, expected, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_collect_short_circuits_sequentially() {
+        // threads=1 must behave like plain collect(): stop at the first
+        // error without touching later items.
+        let touched = std::sync::atomic::AtomicUsize::new(0);
+        let items: Vec<u32> = (0..10).collect();
+        let r: Result<Vec<u32>, String> = crate::with_threads(1, || {
+            par_map_collect(&items, |&x| {
+                touched.fetch_add(1, Ordering::Relaxed);
+                if x == 3 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
+        });
+        assert_eq!(r, Err("bad 3".to_string()));
+        assert_eq!(touched.load(Ordering::Relaxed), 4);
+    }
+}

@@ -16,4 +16,12 @@ cargo build --release --workspace --offline
 echo "==> cargo test (offline)"
 cargo test -q --workspace --offline
 
+# Second pass with the parallel executor engaged: BOOTERS_THREADS=4 makes
+# every booters-par fan-out (country fits, packet synthesis, flow
+# grouping, window scans) run on real worker threads, so CI exercises the
+# determinism contract on the parallel code path, not just the
+# threads=1 sequential fallback.
+echo "==> cargo test (offline, BOOTERS_THREADS=4)"
+BOOTERS_THREADS=4 cargo test -q --workspace --offline
+
 echo "==> verify: OK"

@@ -20,6 +20,10 @@
 //! | [`netsim`] | packet-level UDP reflection + hopscotch honeypot simulator |
 //! | [`market`] | agent-based booter market with the §2 intervention timeline |
 //! | [`core`] | scenario runner, datasets, the §4 pipeline, table/figure renderers |
+//! | [`par`] | deterministic scoped thread-pool driving the simulate→group→fit hot paths |
+//!
+//! Parallelism never changes results: every report is byte-identical at
+//! any `BOOTERS_THREADS` setting (see DESIGN.md, "Determinism contract").
 //!
 //! ## Quickstart
 //!
@@ -44,5 +48,6 @@ pub use booters_glm as glm;
 pub use booters_linalg as linalg;
 pub use booters_market as market;
 pub use booters_netsim as netsim;
+pub use booters_par as par;
 pub use booters_stats as stats;
 pub use booters_timeseries as timeseries;

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/booters_bench-4e25bbc1593f36ad.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/booters_bench-4e25bbc1593f36ad: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

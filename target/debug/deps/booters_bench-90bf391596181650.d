@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/booters_bench-90bf391596181650.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbooters_bench-90bf391596181650.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbooters_bench-90bf391596181650.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/booters_core-2fdd221fc1e20344.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/datasets.rs crates/core/src/detect.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/booters_core-2fdd221fc1e20344: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/datasets.rs crates/core/src/detect.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/datasets.rs:
+crates/core/src/detect.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+crates/core/src/verify.rs:

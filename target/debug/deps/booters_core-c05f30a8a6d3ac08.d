@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/booters_core-c05f30a8a6d3ac08.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/datasets.rs crates/core/src/detect.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libbooters_core-c05f30a8a6d3ac08.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/datasets.rs crates/core/src/detect.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libbooters_core-c05f30a8a6d3ac08.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/datasets.rs crates/core/src/detect.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/datasets.rs:
+crates/core/src/detect.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/booters_market-4e7d76900a5dbe01.d: crates/market/src/lib.rs crates/market/src/booter.rs crates/market/src/calibration.rs crates/market/src/commands.rs crates/market/src/concentration.rs crates/market/src/demand.rs crates/market/src/displacement.rs crates/market/src/events.rs crates/market/src/lifecycle.rs crates/market/src/market.rs crates/market/src/protocol_mix.rs
+
+/root/repo/target/debug/deps/booters_market-4e7d76900a5dbe01: crates/market/src/lib.rs crates/market/src/booter.rs crates/market/src/calibration.rs crates/market/src/commands.rs crates/market/src/concentration.rs crates/market/src/demand.rs crates/market/src/displacement.rs crates/market/src/events.rs crates/market/src/lifecycle.rs crates/market/src/market.rs crates/market/src/protocol_mix.rs
+
+crates/market/src/lib.rs:
+crates/market/src/booter.rs:
+crates/market/src/calibration.rs:
+crates/market/src/commands.rs:
+crates/market/src/concentration.rs:
+crates/market/src/demand.rs:
+crates/market/src/displacement.rs:
+crates/market/src/events.rs:
+crates/market/src/lifecycle.rs:
+crates/market/src/market.rs:
+crates/market/src/protocol_mix.rs:

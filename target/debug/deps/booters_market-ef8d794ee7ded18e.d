@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/booters_market-ef8d794ee7ded18e.d: crates/market/src/lib.rs crates/market/src/booter.rs crates/market/src/calibration.rs crates/market/src/commands.rs crates/market/src/concentration.rs crates/market/src/demand.rs crates/market/src/displacement.rs crates/market/src/events.rs crates/market/src/lifecycle.rs crates/market/src/market.rs crates/market/src/protocol_mix.rs
+
+/root/repo/target/debug/deps/libbooters_market-ef8d794ee7ded18e.rlib: crates/market/src/lib.rs crates/market/src/booter.rs crates/market/src/calibration.rs crates/market/src/commands.rs crates/market/src/concentration.rs crates/market/src/demand.rs crates/market/src/displacement.rs crates/market/src/events.rs crates/market/src/lifecycle.rs crates/market/src/market.rs crates/market/src/protocol_mix.rs
+
+/root/repo/target/debug/deps/libbooters_market-ef8d794ee7ded18e.rmeta: crates/market/src/lib.rs crates/market/src/booter.rs crates/market/src/calibration.rs crates/market/src/commands.rs crates/market/src/concentration.rs crates/market/src/demand.rs crates/market/src/displacement.rs crates/market/src/events.rs crates/market/src/lifecycle.rs crates/market/src/market.rs crates/market/src/protocol_mix.rs
+
+crates/market/src/lib.rs:
+crates/market/src/booter.rs:
+crates/market/src/calibration.rs:
+crates/market/src/commands.rs:
+crates/market/src/concentration.rs:
+crates/market/src/demand.rs:
+crates/market/src/displacement.rs:
+crates/market/src/events.rs:
+crates/market/src/lifecycle.rs:
+crates/market/src/market.rs:
+crates/market/src/protocol_mix.rs:

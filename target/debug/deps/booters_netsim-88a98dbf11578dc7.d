@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/booters_netsim-88a98dbf11578dc7.d: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/attribution.rs crates/netsim/src/coverage.rs crates/netsim/src/engine.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/protocol.rs crates/netsim/src/reflector.rs crates/netsim/src/scanner.rs crates/netsim/src/volume.rs
+
+/root/repo/target/debug/deps/libbooters_netsim-88a98dbf11578dc7.rlib: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/attribution.rs crates/netsim/src/coverage.rs crates/netsim/src/engine.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/protocol.rs crates/netsim/src/reflector.rs crates/netsim/src/scanner.rs crates/netsim/src/volume.rs
+
+/root/repo/target/debug/deps/libbooters_netsim-88a98dbf11578dc7.rmeta: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/attribution.rs crates/netsim/src/coverage.rs crates/netsim/src/engine.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/protocol.rs crates/netsim/src/reflector.rs crates/netsim/src/scanner.rs crates/netsim/src/volume.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/addr.rs:
+crates/netsim/src/attribution.rs:
+crates/netsim/src/coverage.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/flow.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/protocol.rs:
+crates/netsim/src/reflector.rs:
+crates/netsim/src/scanner.rs:
+crates/netsim/src/volume.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/booters_netsim-a83d690a471277b1.d: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/attribution.rs crates/netsim/src/coverage.rs crates/netsim/src/engine.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/protocol.rs crates/netsim/src/reflector.rs crates/netsim/src/scanner.rs crates/netsim/src/volume.rs
+
+/root/repo/target/debug/deps/booters_netsim-a83d690a471277b1: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/attribution.rs crates/netsim/src/coverage.rs crates/netsim/src/engine.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/protocol.rs crates/netsim/src/reflector.rs crates/netsim/src/scanner.rs crates/netsim/src/volume.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/addr.rs:
+crates/netsim/src/attribution.rs:
+crates/netsim/src/coverage.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/flow.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/protocol.rs:
+crates/netsim/src/reflector.rs:
+crates/netsim/src/scanner.rs:
+crates/netsim/src/volume.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/booters_par-85dd39d815018061.d: crates/par/src/lib.rs crates/par/src/pool.rs crates/par/src/seed.rs
+
+/root/repo/target/debug/deps/libbooters_par-85dd39d815018061.rlib: crates/par/src/lib.rs crates/par/src/pool.rs crates/par/src/seed.rs
+
+/root/repo/target/debug/deps/libbooters_par-85dd39d815018061.rmeta: crates/par/src/lib.rs crates/par/src/pool.rs crates/par/src/seed.rs
+
+crates/par/src/lib.rs:
+crates/par/src/pool.rs:
+crates/par/src/seed.rs:

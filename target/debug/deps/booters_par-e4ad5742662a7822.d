@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/booters_par-e4ad5742662a7822.d: crates/par/src/lib.rs crates/par/src/pool.rs crates/par/src/seed.rs
+
+/root/repo/target/debug/deps/booters_par-e4ad5742662a7822: crates/par/src/lib.rs crates/par/src/pool.rs crates/par/src/seed.rs
+
+crates/par/src/lib.rs:
+crates/par/src/pool.rs:
+crates/par/src/seed.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/booting_the_booters-02103c2ed5f10730.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbooting_the_booters-02103c2ed5f10730.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbooting_the_booters-02103c2ed5f10730.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/booting_the_booters-3e1b9f399e331967.d: src/lib.rs
+
+/root/repo/target/debug/deps/booting_the_booters-3e1b9f399e331967: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor-deff21d3cb2c13d0.d: crates/par/tests/executor.rs
+
+/root/repo/target/debug/deps/executor-deff21d3cb2c13d0: crates/par/tests/executor.rs
+
+crates/par/tests/executor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_flows-536fd8307700e012.d: crates/netsim/tests/golden_flows.rs
+
+/root/repo/target/debug/deps/golden_flows-536fd8307700e012: crates/netsim/tests/golden_flows.rs
+
+crates/netsim/tests/golden_flows.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/measurement_chain-55ccf3b939095ef8.d: tests/measurement_chain.rs
+
+/root/repo/target/debug/deps/measurement_chain-55ccf3b939095ef8: tests/measurement_chain.rs
+
+tests/measurement_chain.rs:

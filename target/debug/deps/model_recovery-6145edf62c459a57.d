@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_recovery-6145edf62c459a57.d: tests/model_recovery.rs
+
+/root/repo/target/debug/deps/model_recovery-6145edf62c459a57: tests/model_recovery.rs
+
+tests/model_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/par_invariance-51f24d261e9ce585.d: tests/par_invariance.rs
+
+/root/repo/target/debug/deps/par_invariance-51f24d261e9ce585: tests/par_invariance.rs
+
+tests/par_invariance.rs:

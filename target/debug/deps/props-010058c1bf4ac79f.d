@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-010058c1bf4ac79f.d: crates/market/tests/props.rs
+
+/root/repo/target/debug/deps/props-010058c1bf4ac79f: crates/market/tests/props.rs
+
+crates/market/tests/props.rs:

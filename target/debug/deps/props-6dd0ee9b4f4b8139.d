@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-6dd0ee9b4f4b8139.d: crates/netsim/tests/props.rs
+
+/root/repo/target/debug/deps/props-6dd0ee9b4f4b8139: crates/netsim/tests/props.rs
+
+crates/netsim/tests/props.rs:

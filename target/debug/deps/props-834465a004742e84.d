@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-834465a004742e84.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-834465a004742e84: tests/props.rs
+
+tests/props.rs:

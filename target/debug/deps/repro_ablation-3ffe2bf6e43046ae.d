@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation-3ffe2bf6e43046ae.d: crates/bench/src/bin/repro_ablation.rs
+
+/root/repo/target/debug/deps/repro_ablation-3ffe2bf6e43046ae: crates/bench/src/bin/repro_ablation.rs
+
+crates/bench/src/bin/repro_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablation-c3c35cfe8051404e.d: crates/bench/src/bin/repro_ablation.rs
+
+/root/repo/target/debug/deps/repro_ablation-c3c35cfe8051404e: crates/bench/src/bin/repro_ablation.rs
+
+crates/bench/src/bin/repro_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-2fd7327b923dff9a.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-2fd7327b923dff9a: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

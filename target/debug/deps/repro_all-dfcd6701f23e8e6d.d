@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-dfcd6701f23e8e6d.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-dfcd6701f23e8e6d: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_country_models-b97c656277d350f5.d: crates/bench/src/bin/repro_country_models.rs
+
+/root/repo/target/debug/deps/repro_country_models-b97c656277d350f5: crates/bench/src/bin/repro_country_models.rs
+
+crates/bench/src/bin/repro_country_models.rs:

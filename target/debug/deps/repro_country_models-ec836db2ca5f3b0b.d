@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_country_models-ec836db2ca5f3b0b.d: crates/bench/src/bin/repro_country_models.rs
+
+/root/repo/target/debug/deps/repro_country_models-ec836db2ca5f3b0b: crates/bench/src/bin/repro_country_models.rs
+
+crates/bench/src/bin/repro_country_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_coverage-7410bbddb1b374d7.d: crates/bench/src/bin/repro_coverage.rs
+
+/root/repo/target/debug/deps/repro_coverage-7410bbddb1b374d7: crates/bench/src/bin/repro_coverage.rs
+
+crates/bench/src/bin/repro_coverage.rs:

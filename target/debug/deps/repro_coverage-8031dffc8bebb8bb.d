@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_coverage-8031dffc8bebb8bb.d: crates/bench/src/bin/repro_coverage.rs
+
+/root/repo/target/debug/deps/repro_coverage-8031dffc8bebb8bb: crates/bench/src/bin/repro_coverage.rs
+
+crates/bench/src/bin/repro_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_detection-1ecf7481afddf892.d: crates/bench/src/bin/repro_detection.rs
+
+/root/repo/target/debug/deps/repro_detection-1ecf7481afddf892: crates/bench/src/bin/repro_detection.rs
+
+crates/bench/src/bin/repro_detection.rs:

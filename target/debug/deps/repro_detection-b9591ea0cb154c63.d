@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_detection-b9591ea0cb154c63.d: crates/bench/src/bin/repro_detection.rs
+
+/root/repo/target/debug/deps/repro_detection-b9591ea0cb154c63: crates/bench/src/bin/repro_detection.rs
+
+crates/bench/src/bin/repro_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_duration_scan-b197b3c82cb338c8.d: crates/bench/src/bin/repro_duration_scan.rs
+
+/root/repo/target/debug/deps/repro_duration_scan-b197b3c82cb338c8: crates/bench/src/bin/repro_duration_scan.rs
+
+crates/bench/src/bin/repro_duration_scan.rs:

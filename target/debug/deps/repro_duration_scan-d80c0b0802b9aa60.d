@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_duration_scan-d80c0b0802b9aa60.d: crates/bench/src/bin/repro_duration_scan.rs
+
+/root/repo/target/debug/deps/repro_duration_scan-d80c0b0802b9aa60: crates/bench/src/bin/repro_duration_scan.rs
+
+crates/bench/src/bin/repro_duration_scan.rs:

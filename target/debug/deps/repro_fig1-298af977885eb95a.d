@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig1-298af977885eb95a.d: crates/bench/src/bin/repro_fig1.rs
+
+/root/repo/target/debug/deps/repro_fig1-298af977885eb95a: crates/bench/src/bin/repro_fig1.rs
+
+crates/bench/src/bin/repro_fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig1-3b28d975cfdf45da.d: crates/bench/src/bin/repro_fig1.rs
+
+/root/repo/target/debug/deps/repro_fig1-3b28d975cfdf45da: crates/bench/src/bin/repro_fig1.rs
+
+crates/bench/src/bin/repro_fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig2-1be0d233d56fccd4.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/debug/deps/repro_fig2-1be0d233d56fccd4: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig2-558b3c4d5c68fa55.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/debug/deps/repro_fig2-558b3c4d5c68fa55: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

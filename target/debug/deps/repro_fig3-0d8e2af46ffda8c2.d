@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig3-0d8e2af46ffda8c2.d: crates/bench/src/bin/repro_fig3.rs
+
+/root/repo/target/debug/deps/repro_fig3-0d8e2af46ffda8c2: crates/bench/src/bin/repro_fig3.rs
+
+crates/bench/src/bin/repro_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig3-ff7578ac759f1a1b.d: crates/bench/src/bin/repro_fig3.rs
+
+/root/repo/target/debug/deps/repro_fig3-ff7578ac759f1a1b: crates/bench/src/bin/repro_fig3.rs
+
+crates/bench/src/bin/repro_fig3.rs:

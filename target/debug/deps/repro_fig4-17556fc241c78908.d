@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig4-17556fc241c78908.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/debug/deps/repro_fig4-17556fc241c78908: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

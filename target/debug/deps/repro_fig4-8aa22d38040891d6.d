@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig4-8aa22d38040891d6.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/debug/deps/repro_fig4-8aa22d38040891d6: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

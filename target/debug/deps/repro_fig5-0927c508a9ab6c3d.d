@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig5-0927c508a9ab6c3d.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/debug/deps/repro_fig5-0927c508a9ab6c3d: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

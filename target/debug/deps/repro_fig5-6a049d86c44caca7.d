@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig5-6a049d86c44caca7.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/debug/deps/repro_fig5-6a049d86c44caca7: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

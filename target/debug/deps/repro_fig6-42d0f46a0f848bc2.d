@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-42d0f46a0f848bc2.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-42d0f46a0f848bc2: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig6-78ae01cef662e201.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/debug/deps/repro_fig6-78ae01cef662e201: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

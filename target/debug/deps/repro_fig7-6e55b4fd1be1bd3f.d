@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig7-6e55b4fd1be1bd3f.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/debug/deps/repro_fig7-6e55b4fd1be1bd3f: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

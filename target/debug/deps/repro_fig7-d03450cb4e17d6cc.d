@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig7-d03450cb4e17d6cc.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/debug/deps/repro_fig7-d03450cb4e17d6cc: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig8-04684378e972156e.d: crates/bench/src/bin/repro_fig8.rs
+
+/root/repo/target/debug/deps/repro_fig8-04684378e972156e: crates/bench/src/bin/repro_fig8.rs
+
+crates/bench/src/bin/repro_fig8.rs:

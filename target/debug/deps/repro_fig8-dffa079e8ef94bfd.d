@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig8-dffa079e8ef94bfd.d: crates/bench/src/bin/repro_fig8.rs
+
+/root/repo/target/debug/deps/repro_fig8-dffa079e8ef94bfd: crates/bench/src/bin/repro_fig8.rs
+
+crates/bench/src/bin/repro_fig8.rs:

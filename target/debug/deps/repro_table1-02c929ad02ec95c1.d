@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-02c929ad02ec95c1.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-02c929ad02ec95c1: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

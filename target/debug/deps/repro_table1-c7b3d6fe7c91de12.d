@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-c7b3d6fe7c91de12.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-c7b3d6fe7c91de12: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

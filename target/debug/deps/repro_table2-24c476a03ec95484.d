@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-24c476a03ec95484.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-24c476a03ec95484: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

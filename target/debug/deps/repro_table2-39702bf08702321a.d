@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-39702bf08702321a.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-39702bf08702321a: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-430a098aee37a314.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-430a098aee37a314: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

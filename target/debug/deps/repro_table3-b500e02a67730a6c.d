@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-b500e02a67730a6c.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-b500e02a67730a6c: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

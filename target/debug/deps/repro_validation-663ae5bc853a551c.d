@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_validation-663ae5bc853a551c.d: crates/bench/src/bin/repro_validation.rs
+
+/root/repo/target/debug/deps/repro_validation-663ae5bc853a551c: crates/bench/src/bin/repro_validation.rs
+
+crates/bench/src/bin/repro_validation.rs:

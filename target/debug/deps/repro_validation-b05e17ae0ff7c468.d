@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_validation-b05e17ae0ff7c468.d: crates/bench/src/bin/repro_validation.rs
+
+/root/repo/target/debug/deps/repro_validation-b05e17ae0ff7c468: crates/bench/src/bin/repro_validation.rs
+
+crates/bench/src/bin/repro_validation.rs:

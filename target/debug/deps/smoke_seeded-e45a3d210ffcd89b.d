@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke_seeded-e45a3d210ffcd89b.d: tests/smoke_seeded.rs
+
+/root/repo/target/debug/deps/smoke_seeded-e45a3d210ffcd89b: tests/smoke_seeded.rs
+
+tests/smoke_seeded.rs:

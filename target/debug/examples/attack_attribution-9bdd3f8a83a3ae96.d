@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_attribution-9bdd3f8a83a3ae96.d: examples/attack_attribution.rs
+
+/root/repo/target/debug/examples/attack_attribution-9bdd3f8a83a3ae96: examples/attack_attribution.rs
+
+examples/attack_attribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/honeypot_coverage-f1dfa6050cb66ab5.d: examples/honeypot_coverage.rs
+
+/root/repo/target/debug/examples/honeypot_coverage-f1dfa6050cb66ab5: examples/honeypot_coverage.rs
+
+examples/honeypot_coverage.rs:

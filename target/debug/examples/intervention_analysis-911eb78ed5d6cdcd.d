@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intervention_analysis-911eb78ed5d6cdcd.d: examples/intervention_analysis.rs
+
+/root/repo/target/debug/examples/intervention_analysis-911eb78ed5d6cdcd: examples/intervention_analysis.rs
+
+examples/intervention_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/market_simulation-875a17eb330890a0.d: examples/market_simulation.rs
+
+/root/repo/target/debug/examples/market_simulation-875a17eb330890a0: examples/market_simulation.rs
+
+examples/market_simulation.rs:

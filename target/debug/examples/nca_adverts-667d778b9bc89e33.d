@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nca_adverts-667d778b9bc89e33.d: examples/nca_adverts.rs
+
+/root/repo/target/debug/examples/nca_adverts-667d778b9bc89e33: examples/nca_adverts.rs
+
+examples/nca_adverts.rs:

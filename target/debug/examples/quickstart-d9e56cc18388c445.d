@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d9e56cc18388c445.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d9e56cc18388c445: examples/quickstart.rs
+
+examples/quickstart.rs:

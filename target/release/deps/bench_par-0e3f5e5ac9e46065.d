@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_par-0e3f5e5ac9e46065.d: crates/bench/benches/bench_par.rs
+
+/root/repo/target/release/deps/bench_par-0e3f5e5ac9e46065: crates/bench/benches/bench_par.rs
+
+crates/bench/benches/bench_par.rs:

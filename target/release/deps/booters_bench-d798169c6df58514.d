@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/booters_bench-d798169c6df58514.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbooters_bench-d798169c6df58514.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbooters_bench-d798169c6df58514.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

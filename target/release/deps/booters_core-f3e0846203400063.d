@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/booters_core-f3e0846203400063.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/datasets.rs crates/core/src/detect.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libbooters_core-f3e0846203400063.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/datasets.rs crates/core/src/detect.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libbooters_core-f3e0846203400063.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/datasets.rs crates/core/src/detect.rs crates/core/src/pipeline.rs crates/core/src/report.rs crates/core/src/scenario.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/datasets.rs:
+crates/core/src/detect.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/booters_market-1efb6d6555100af3.d: crates/market/src/lib.rs crates/market/src/booter.rs crates/market/src/calibration.rs crates/market/src/commands.rs crates/market/src/concentration.rs crates/market/src/demand.rs crates/market/src/displacement.rs crates/market/src/events.rs crates/market/src/lifecycle.rs crates/market/src/market.rs crates/market/src/protocol_mix.rs
+
+/root/repo/target/release/deps/libbooters_market-1efb6d6555100af3.rlib: crates/market/src/lib.rs crates/market/src/booter.rs crates/market/src/calibration.rs crates/market/src/commands.rs crates/market/src/concentration.rs crates/market/src/demand.rs crates/market/src/displacement.rs crates/market/src/events.rs crates/market/src/lifecycle.rs crates/market/src/market.rs crates/market/src/protocol_mix.rs
+
+/root/repo/target/release/deps/libbooters_market-1efb6d6555100af3.rmeta: crates/market/src/lib.rs crates/market/src/booter.rs crates/market/src/calibration.rs crates/market/src/commands.rs crates/market/src/concentration.rs crates/market/src/demand.rs crates/market/src/displacement.rs crates/market/src/events.rs crates/market/src/lifecycle.rs crates/market/src/market.rs crates/market/src/protocol_mix.rs
+
+crates/market/src/lib.rs:
+crates/market/src/booter.rs:
+crates/market/src/calibration.rs:
+crates/market/src/commands.rs:
+crates/market/src/concentration.rs:
+crates/market/src/demand.rs:
+crates/market/src/displacement.rs:
+crates/market/src/events.rs:
+crates/market/src/lifecycle.rs:
+crates/market/src/market.rs:
+crates/market/src/protocol_mix.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/booters_netsim-79d514baaf2645b0.d: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/attribution.rs crates/netsim/src/coverage.rs crates/netsim/src/engine.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/protocol.rs crates/netsim/src/reflector.rs crates/netsim/src/scanner.rs crates/netsim/src/volume.rs
+
+/root/repo/target/release/deps/libbooters_netsim-79d514baaf2645b0.rlib: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/attribution.rs crates/netsim/src/coverage.rs crates/netsim/src/engine.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/protocol.rs crates/netsim/src/reflector.rs crates/netsim/src/scanner.rs crates/netsim/src/volume.rs
+
+/root/repo/target/release/deps/libbooters_netsim-79d514baaf2645b0.rmeta: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/attribution.rs crates/netsim/src/coverage.rs crates/netsim/src/engine.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/protocol.rs crates/netsim/src/reflector.rs crates/netsim/src/scanner.rs crates/netsim/src/volume.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/addr.rs:
+crates/netsim/src/attribution.rs:
+crates/netsim/src/coverage.rs:
+crates/netsim/src/engine.rs:
+crates/netsim/src/flow.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/protocol.rs:
+crates/netsim/src/reflector.rs:
+crates/netsim/src/scanner.rs:
+crates/netsim/src/volume.rs:

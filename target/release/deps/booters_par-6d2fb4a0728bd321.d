@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/booters_par-6d2fb4a0728bd321.d: crates/par/src/lib.rs crates/par/src/pool.rs crates/par/src/seed.rs
+
+/root/repo/target/release/deps/libbooters_par-6d2fb4a0728bd321.rlib: crates/par/src/lib.rs crates/par/src/pool.rs crates/par/src/seed.rs
+
+/root/repo/target/release/deps/libbooters_par-6d2fb4a0728bd321.rmeta: crates/par/src/lib.rs crates/par/src/pool.rs crates/par/src/seed.rs
+
+crates/par/src/lib.rs:
+crates/par/src/pool.rs:
+crates/par/src/seed.rs:

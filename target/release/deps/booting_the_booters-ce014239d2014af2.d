@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/booting_the_booters-ce014239d2014af2.d: src/lib.rs
+
+/root/repo/target/release/deps/libbooting_the_booters-ce014239d2014af2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbooting_the_booters-ce014239d2014af2.rmeta: src/lib.rs
+
+src/lib.rs:

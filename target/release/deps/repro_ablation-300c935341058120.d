@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_ablation-300c935341058120.d: crates/bench/src/bin/repro_ablation.rs
+
+/root/repo/target/release/deps/repro_ablation-300c935341058120: crates/bench/src/bin/repro_ablation.rs
+
+crates/bench/src/bin/repro_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-fa6bbf4b52f4e7e4.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-fa6bbf4b52f4e7e4: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

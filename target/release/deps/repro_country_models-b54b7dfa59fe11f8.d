@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_country_models-b54b7dfa59fe11f8.d: crates/bench/src/bin/repro_country_models.rs
+
+/root/repo/target/release/deps/repro_country_models-b54b7dfa59fe11f8: crates/bench/src/bin/repro_country_models.rs
+
+crates/bench/src/bin/repro_country_models.rs:

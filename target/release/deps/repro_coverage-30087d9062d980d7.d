@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_coverage-30087d9062d980d7.d: crates/bench/src/bin/repro_coverage.rs
+
+/root/repo/target/release/deps/repro_coverage-30087d9062d980d7: crates/bench/src/bin/repro_coverage.rs
+
+crates/bench/src/bin/repro_coverage.rs:

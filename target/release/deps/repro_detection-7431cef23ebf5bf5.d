@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_detection-7431cef23ebf5bf5.d: crates/bench/src/bin/repro_detection.rs
+
+/root/repo/target/release/deps/repro_detection-7431cef23ebf5bf5: crates/bench/src/bin/repro_detection.rs
+
+crates/bench/src/bin/repro_detection.rs:

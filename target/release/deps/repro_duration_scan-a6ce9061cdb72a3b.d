@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_duration_scan-a6ce9061cdb72a3b.d: crates/bench/src/bin/repro_duration_scan.rs
+
+/root/repo/target/release/deps/repro_duration_scan-a6ce9061cdb72a3b: crates/bench/src/bin/repro_duration_scan.rs
+
+crates/bench/src/bin/repro_duration_scan.rs:

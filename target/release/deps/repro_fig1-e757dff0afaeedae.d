@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig1-e757dff0afaeedae.d: crates/bench/src/bin/repro_fig1.rs
+
+/root/repo/target/release/deps/repro_fig1-e757dff0afaeedae: crates/bench/src/bin/repro_fig1.rs
+
+crates/bench/src/bin/repro_fig1.rs:

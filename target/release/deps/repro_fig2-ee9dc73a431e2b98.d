@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig2-ee9dc73a431e2b98.d: crates/bench/src/bin/repro_fig2.rs
+
+/root/repo/target/release/deps/repro_fig2-ee9dc73a431e2b98: crates/bench/src/bin/repro_fig2.rs
+
+crates/bench/src/bin/repro_fig2.rs:

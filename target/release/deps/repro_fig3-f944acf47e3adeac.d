@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig3-f944acf47e3adeac.d: crates/bench/src/bin/repro_fig3.rs
+
+/root/repo/target/release/deps/repro_fig3-f944acf47e3adeac: crates/bench/src/bin/repro_fig3.rs
+
+crates/bench/src/bin/repro_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig4-b2ffa02680ad188d.d: crates/bench/src/bin/repro_fig4.rs
+
+/root/repo/target/release/deps/repro_fig4-b2ffa02680ad188d: crates/bench/src/bin/repro_fig4.rs
+
+crates/bench/src/bin/repro_fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig5-21a3ea036e36cff0.d: crates/bench/src/bin/repro_fig5.rs
+
+/root/repo/target/release/deps/repro_fig5-21a3ea036e36cff0: crates/bench/src/bin/repro_fig5.rs
+
+crates/bench/src/bin/repro_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig6-833b011eeaf4fc4e.d: crates/bench/src/bin/repro_fig6.rs
+
+/root/repo/target/release/deps/repro_fig6-833b011eeaf4fc4e: crates/bench/src/bin/repro_fig6.rs
+
+crates/bench/src/bin/repro_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig7-232e6733e3f31347.d: crates/bench/src/bin/repro_fig7.rs
+
+/root/repo/target/release/deps/repro_fig7-232e6733e3f31347: crates/bench/src/bin/repro_fig7.rs
+
+crates/bench/src/bin/repro_fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig8-89ee7e5ceea209f0.d: crates/bench/src/bin/repro_fig8.rs
+
+/root/repo/target/release/deps/repro_fig8-89ee7e5ceea209f0: crates/bench/src/bin/repro_fig8.rs
+
+crates/bench/src/bin/repro_fig8.rs:

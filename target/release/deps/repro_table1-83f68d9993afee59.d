@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1-83f68d9993afee59.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/release/deps/repro_table1-83f68d9993afee59: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table2-a7d261d83a5f3716.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/release/deps/repro_table2-a7d261d83a5f3716: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

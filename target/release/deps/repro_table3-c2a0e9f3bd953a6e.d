@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table3-c2a0e9f3bd953a6e.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/release/deps/repro_table3-c2a0e9f3bd953a6e: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

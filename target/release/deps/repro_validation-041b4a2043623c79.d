@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_validation-041b4a2043623c79.d: crates/bench/src/bin/repro_validation.rs
+
+/root/repo/target/release/deps/repro_validation-041b4a2043623c79: crates/bench/src/bin/repro_validation.rs
+
+crates/bench/src/bin/repro_validation.rs:

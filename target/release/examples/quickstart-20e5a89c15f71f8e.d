@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-20e5a89c15f71f8e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-20e5a89c15f71f8e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,158 @@
+//! Thread-count-invariance properties for the `booters-par` executor.
+//!
+//! The determinism contract (DESIGN.md) says parallelism is an
+//! implementation detail: for any seed, every parallelised stage of the
+//! simulate → group → fit chain must produce *bit-identical* output at
+//! every `BOOTERS_THREADS` setting. These properties drive random inputs
+//! through each stage at threads ∈ {1, 2, 4, 8} and compare against the
+//! sequential run — down to f64 bit patterns, not just tolerances.
+
+use booting_the_booters::core::pipeline::{fit_countries, fit_global, PipelineConfig};
+use booting_the_booters::core::report::table1;
+use booting_the_booters::core::scenario::{Fidelity, Scenario, ScenarioConfig};
+use booting_the_booters::market::calibration::Calibration;
+use booting_the_booters::market::market::MarketConfig;
+use booting_the_booters::netsim::{
+    classify_flows, classify_flows_par, sort_flows, Flow, FlowClass, SensorPacket, UdpProtocol,
+    VictimAddr,
+};
+use booting_the_booters::par::with_threads;
+use booting_the_booters::timeseries::Date;
+use booters_testkit::strategy::prop;
+use booters_testkit::{forall, prop_assert, prop_assert_eq, Strategy};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Strategy: an arbitrary time-ordered packet stream over a small
+/// victim/sensor space — same shape as the netsim flow properties.
+fn packet_stream() -> impl Strategy<Value = Vec<SensorPacket>> {
+    prop::collection::vec(
+        (
+            0u64..200_000,  // time
+            0u32..6,        // sensor
+            0u8..4,         // victim last octet
+            0usize..UdpProtocol::ALL.len(),
+        ),
+        0..300,
+    )
+    .prop_map(|mut raw| {
+        raw.sort_by_key(|r| r.0);
+        raw.into_iter()
+            .map(|(time, sensor, v, p)| SensorPacket {
+                time,
+                sensor,
+                victim: VictimAddr::from_octets(25, 0, 0, v),
+                protocol: UdpProtocol::ALL[p],
+                ttl: 50,
+                src_port: 4444,
+            })
+            .collect()
+    })
+}
+
+/// Canonical view of a classification for exact comparison.
+fn canonical(mut flows: Vec<(Flow, FlowClass)>) -> (Vec<Flow>, usize, usize) {
+    let attacks = flows.iter().filter(|(_, c)| *c == FlowClass::Attack).count();
+    let scans = flows.len() - attacks;
+    let mut just_flows: Vec<Flow> = flows.drain(..).map(|(f, _)| f).collect();
+    sort_flows(&mut just_flows);
+    (just_flows, attacks, scans)
+}
+
+forall! {
+    #![cases(32)]
+
+    fn flow_classification_is_thread_count_invariant(packets in packet_stream()) {
+        let reference = canonical(classify_flows(&packets));
+        for threads in THREAD_COUNTS {
+            let parallel = with_threads(threads, || canonical(classify_flows_par(&packets)));
+            prop_assert_eq!(&parallel.0, &reference.0, "flows differ at {} threads", threads);
+            prop_assert_eq!(parallel.1, reference.1, "attack count at {} threads", threads);
+            prop_assert_eq!(parallel.2, reference.2, "scan count at {} threads", threads);
+        }
+    }
+}
+
+/// A short full-packet scenario: the whole measurement chain (packet
+/// synthesis, 15-minute-gap grouping, classification) on an 8-week window.
+fn full_packet_scenario(seed: u64) -> Scenario {
+    let mut cal = Calibration::default();
+    cal.scenario_start = Date::new(2018, 9, 3);
+    cal.scenario_end = Date::new(2018, 10, 29);
+    Scenario::run(ScenarioConfig {
+        market: MarketConfig {
+            calibration: cal,
+            scale: 0.01,
+            seed,
+            ..MarketConfig::default()
+        },
+        fidelity: Fidelity::FullPackets { per_week: 30 },
+        ..ScenarioConfig::default()
+    })
+}
+
+forall! {
+    #![cases(3)]
+
+    fn full_packet_scenario_is_thread_count_invariant(seed in 1u64..1_000_000) {
+        let reference: Vec<u64> = with_threads(1, || full_packet_scenario(seed))
+            .honeypot
+            .global
+            .values()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        prop_assert!(!reference.is_empty());
+        for threads in [2, 4, 8] {
+            let parallel: Vec<u64> = with_threads(threads, || full_packet_scenario(seed))
+                .honeypot
+                .global
+                .values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            prop_assert_eq!(&parallel, &reference, "weekly counts at {} threads", threads);
+        }
+    }
+}
+
+forall! {
+    #![cases(2)]
+
+    fn country_coefficients_and_table1_are_thread_count_invariant(seed in 1u64..1_000_000) {
+        let scenario = Scenario::run(ScenarioConfig {
+            market: MarketConfig {
+                scale: 0.02,
+                seed,
+                ..MarketConfig::default()
+            },
+            fidelity: Fidelity::Aggregate,
+            ..ScenarioConfig::default()
+        });
+        let cal = Calibration::default();
+        let cfg = PipelineConfig::default();
+        let countries = Calibration::table2_countries();
+        // Per-country coefficient vectors, as raw f64 bits.
+        let betas = |threads: usize| -> Vec<Vec<u64>> {
+            with_threads(threads, || {
+                fit_countries(&scenario.honeypot, &cal, &countries, &cfg)
+                    .unwrap()
+                    .iter()
+                    .map(|r| r.model.fit.fit.beta.iter().map(|b| b.to_bits()).collect())
+                    .collect()
+            })
+        };
+        let t1 = |threads: usize| -> String {
+            with_threads(threads, || {
+                table1(&fit_global(&scenario.honeypot, &cal, &cfg).unwrap())
+            })
+        };
+        let ref_betas = betas(1);
+        let ref_t1 = t1(1);
+        prop_assert_eq!(ref_betas.len(), countries.len());
+        for threads in [2, 4, 8] {
+            prop_assert_eq!(&betas(threads), &ref_betas, "betas at {} threads", threads);
+            prop_assert_eq!(&t1(threads), &ref_t1, "table1 at {} threads", threads);
+        }
+    }
+}

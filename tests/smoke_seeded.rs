@@ -4,10 +4,11 @@
 //! reproducible: the same seed renders a byte-identical Table 1 report.
 
 use booting_the_booters::core::pipeline::{fit_global, PipelineConfig};
-use booting_the_booters::core::report::table1;
+use booting_the_booters::core::report::{table1, table2};
 use booting_the_booters::core::scenario::{Fidelity, Scenario, ScenarioConfig};
 use booting_the_booters::market::calibration::Calibration;
 use booting_the_booters::market::market::MarketConfig;
+use booting_the_booters::par::with_threads;
 
 const SMOKE_SEED: u64 = 0x5EED_B007;
 
@@ -67,6 +68,33 @@ fn same_seed_renders_byte_identical_report() {
         "same-seed reports differ:\n--- first ---\n{first}\n--- second ---\n{second}"
     );
     assert!(first.contains("Xmas 2018 event"));
+}
+
+#[test]
+fn golden_reports_are_byte_identical_at_four_threads() {
+    // The determinism contract (DESIGN.md): parallel execution reduces in
+    // submission order, so the rendered reports — Table 1's global fit and
+    // Table 2's eight per-country fits — must match the sequential run
+    // byte for byte, not merely numerically.
+    let cal = Calibration::default();
+    let cfg = PipelineConfig::default();
+    let render = || {
+        let s = run(SMOKE_SEED);
+        let t1 = table1(&fit_global(&s.honeypot, &cal, &cfg).unwrap());
+        let t2 = table2(&s.honeypot, &cal, &cfg).unwrap();
+        (t1, t2)
+    };
+    let (seq1, seq2) = with_threads(1, render);
+    let (par1, par2) = with_threads(4, render);
+    assert!(
+        seq1 == par1,
+        "Table 1 differs at 4 threads:\n--- sequential ---\n{seq1}\n--- 4 threads ---\n{par1}"
+    );
+    assert!(
+        seq2 == par2,
+        "Table 2 differs at 4 threads:\n--- sequential ---\n{seq2}\n--- 4 threads ---\n{par2}"
+    );
+    assert!(seq2.contains("Overall"));
 }
 
 #[test]
