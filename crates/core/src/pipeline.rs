@@ -185,6 +185,21 @@ pub fn fit_series(
     })
 }
 
+/// Store-backed dataset builder: run `config` with every full-packet
+/// week streamed through the booters-store out-of-core spill grouper
+/// instead of in-RAM grouping, bounding packet memory at the spill
+/// budget. The returned scenario — and therefore every table fitted from
+/// it — is **byte-identical** to `Scenario::run(config)` without a store
+/// (golden-tested in `tests/store_equivalence.rs`); only the memory
+/// ceiling changes. `store_stats` on the result records the spill work.
+pub fn build_dataset_store(
+    mut config: crate::scenario::ScenarioConfig,
+    spill: booters_store::SpillConfig,
+) -> Result<crate::scenario::Scenario, booters_store::StoreError> {
+    config.store = Some(spill);
+    crate::scenario::Scenario::try_run(config)
+}
+
 /// Fit the paper's global Table 1 model on the honeypot dataset.
 pub fn fit_global(
     ds: &HoneypotDataset,

@@ -24,6 +24,7 @@ use booters_netsim::flow::{FlowClass, VictimKey};
 use booters_netsim::{
     group_flows_par, AttackCommand, Country, Engine, EngineConfig, UdpProtocol, VictimAddr,
 };
+use booters_store::{SpillConfig, SpillGrouper, SpillStats, StoreError};
 use booters_timeseries::Date;
 use booters_testkit::rngs::StdRng;
 use booters_testkit::SeedableRng;
@@ -60,6 +61,13 @@ pub struct ScenarioConfig {
     /// First week of the self-report scrape (the collection began
     /// November 2017).
     pub selfreport_start: Date,
+    /// When set, [`Fidelity::FullPackets`] weeks stream their packet
+    /// batches through the out-of-core spill grouper (booters-store)
+    /// instead of grouping in RAM. The resulting datasets are
+    /// byte-identical to the in-memory path at every budget and thread
+    /// count — only the memory ceiling changes. Ignored by the other
+    /// fidelities (they never materialise packets).
+    pub store: Option<SpillConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -70,6 +78,7 @@ impl Default for ScenarioConfig {
             fidelity: Fidelity::Aggregate,
             observe_seed: 0x0B5E,
             selfreport_start: Date::new(2017, 11, 6),
+            store: None,
         }
     }
 }
@@ -86,11 +95,25 @@ pub struct Scenario {
     pub selfreport: SelfReportDataset,
     /// Raw weekly market outputs.
     pub weeks: Vec<WeekOutput>,
+    /// Spill/merge counters accumulated across all store-backed weeks;
+    /// `None` when the in-memory path ran (no `store` configured or the
+    /// fidelity never materialises packets).
+    pub store_stats: Option<SpillStats>,
 }
 
 impl Scenario {
     /// Run a scenario to completion.
+    ///
+    /// # Panics
+    /// If a configured on-disk store fails (spill-file I/O); use
+    /// [`Scenario::try_run`] to handle [`StoreError`] instead. Without a
+    /// `store` configured this never panics.
     pub fn run(config: ScenarioConfig) -> Scenario {
+        Scenario::try_run(config).expect("scenario spill store failed")
+    }
+
+    /// Run a scenario to completion, surfacing store errors.
+    pub fn try_run(config: ScenarioConfig) -> Result<Scenario, StoreError> {
         let cal_start = config.market.calibration.scenario_start;
         let cal_end = config.market.calibration.scenario_end;
         let mut sim = MarketSim::new(config.market.clone());
@@ -108,6 +131,7 @@ impl Scenario {
         let mut births = booters_timeseries::WeeklySeries::zeros(sr_start, sr_weeks);
 
         let mut weeks = Vec::with_capacity(n_weeks_total);
+        let mut store_stats: Option<SpillStats> = None;
         while let Some(out) = sim.step() {
             let monday = out.monday;
 
@@ -129,7 +153,15 @@ impl Scenario {
                 Fidelity::FullPackets { per_week } => {
                     let booters_now = sim.population().booters();
                     let cmds = commands_for_week(&out, booters_now, &mut rng, per_week);
-                    full_packet_rate(&mut engine, &cmds)
+                    match &config.store {
+                        Some(spill) => {
+                            let (rate, stats) =
+                                full_packet_rate_store(&mut engine, &cmds, spill.clone())?;
+                            store_stats.get_or_insert_with(SpillStats::default).absorb(&stats);
+                            rate
+                        }
+                        None => full_packet_rate(&mut engine, &cmds),
+                    }
                 }
             };
 
@@ -178,7 +210,7 @@ impl Scenario {
             weeks.push(out);
         }
 
-        Scenario {
+        Ok(Scenario {
             honeypot,
             ground_truth,
             selfreport: SelfReportDataset {
@@ -189,7 +221,8 @@ impl Scenario {
                 births,
             },
             weeks,
-        }
+            store_stats,
+        })
     }
 }
 
@@ -249,6 +282,33 @@ fn full_packet_rate(engine: &mut Engine, cmds: &[AttackCommand]) -> f64 {
         .filter(|f| f.classify() == FlowClass::Attack)
         .count();
     (attacks as f64 / cmds.len() as f64).min(1.0)
+}
+
+/// Out-of-core twin of [`full_packet_rate`]: the engine streams the batch
+/// into a [`SpillGrouper`] sink (never holding the full trace in RAM) and
+/// flows come from the external sort/merge. Engine RNG draw order and the
+/// produced flows match the in-memory path exactly, so the observed
+/// datasets are byte-identical at every budget and thread count.
+fn full_packet_rate_store(
+    engine: &mut Engine,
+    cmds: &[AttackCommand],
+    spill: SpillConfig,
+) -> Result<(f64, SpillStats), StoreError> {
+    if cmds.is_empty() {
+        return Ok((1.0, SpillStats::default()));
+    }
+    let mut grouper = SpillGrouper::new(SpillConfig {
+        key: VictimKey::ByIp, // must match full_packet_rate's grouping
+        ..spill
+    });
+    engine.simulate_attacks_batch_into(cmds, &mut grouper);
+    let out = grouper.finish()?;
+    let attacks = out
+        .flows
+        .iter()
+        .filter(|f| f.classify() == FlowClass::Attack)
+        .count();
+    Ok(((attacks as f64 / cmds.len() as f64).min(1.0), out.stats))
 }
 
 #[cfg(test)]
@@ -323,6 +383,39 @@ mod tests {
         let s = Scenario::run(cfg);
         let rate = s.honeypot.global.total() / s.ground_truth.global.total();
         assert!(rate > 0.5, "rate={rate}");
+    }
+
+    #[test]
+    fn store_backed_full_packets_matches_in_memory_bit_for_bit() {
+        let mut cfg = small_config(Fidelity::FullPackets { per_week: 40 });
+        // Short window: 8 weeks (as the in-memory full-packet test).
+        cfg.market.calibration.scenario_start = Date::new(2018, 9, 3);
+        cfg.market.calibration.scenario_end = Date::new(2018, 10, 29);
+        let baseline = Scenario::run(cfg.clone());
+        assert!(baseline.store_stats.is_none());
+
+        let mut store_cfg = cfg;
+        store_cfg.store = Some(SpillConfig {
+            budget_bytes: 32 << 10, // tiny: forces many spill runs
+            ..SpillConfig::default()
+        });
+        let s = Scenario::run(store_cfg);
+        let stats = s.store_stats.expect("store path ran");
+        assert!(stats.spill_runs >= 3, "spill_runs={}", stats.spill_runs);
+        assert!(stats.packets > 0);
+        assert_eq!(s.honeypot.global.values(), baseline.honeypot.global.values());
+        assert_eq!(
+            s.ground_truth.global.values(),
+            baseline.ground_truth.global.values()
+        );
+        for (a, b) in s
+            .honeypot
+            .by_protocol
+            .iter()
+            .zip(baseline.honeypot.by_protocol.iter())
+        {
+            assert_eq!(a.values(), b.values());
+        }
     }
 
     #[test]

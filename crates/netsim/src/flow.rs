@@ -87,7 +87,11 @@ pub enum VictimKey {
 }
 
 impl VictimKey {
-    fn canonical(&self, v: VictimAddr) -> VictimAddr {
+    /// The address actually used as the grouping key: the victim itself
+    /// for [`VictimKey::ByIp`], the /24 network address for
+    /// [`VictimKey::ByPrefix24`]. Exposed so out-of-core groupers
+    /// (booters-store) can partition by exactly the key the grouper uses.
+    pub fn canonical(&self, v: VictimAddr) -> VictimAddr {
         match self {
             VictimKey::ByIp => v,
             VictimKey::ByPrefix24 => VictimAddr(v.prefix24() << 8),

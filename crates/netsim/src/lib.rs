@@ -44,5 +44,5 @@ pub use flow::{
     classify_flows, classify_flows_par, group_flows_par, sort_flows, Flow, FlowClass, FlowGrouper,
     VictimKey,
 };
-pub use packet::SensorPacket;
+pub use packet::{PacketSink, SensorPacket};
 pub use protocol::UdpProtocol;

@@ -1,0 +1,74 @@
+//! Typed store errors. Corruption is always surfaced as a value — the
+//! decode paths never panic on bad bytes and never return wrong data
+//! silently (every byte of a store file is covered by a CRC, a magic
+//! marker, or a validated length).
+
+use std::fmt;
+
+/// Any failure reading or writing a store file.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O failure (open/read/write/seek).
+    Io(std::io::Error),
+    /// The file does not start or end with the store magic markers.
+    BadMagic,
+    /// The footer declares a version this build cannot read.
+    UnsupportedVersion(u64),
+    /// Structural corruption: a CRC mismatch, an out-of-range value, a
+    /// truncated buffer, or an inconsistent length/offset.
+    Corrupt {
+        /// What failed to validate.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Shorthand constructor for [`StoreError::Corrupt`].
+    pub fn corrupt(detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a booters-store file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported store format version {v}")
+            }
+            StoreError::Corrupt { detail } => write!(f, "corrupt store file: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(StoreError::BadMagic.to_string().contains("magic"));
+        assert!(StoreError::corrupt("chunk 3 crc").to_string().contains("chunk 3 crc"));
+        assert!(StoreError::UnsupportedVersion(9).to_string().contains('9'));
+        let io = StoreError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,648 @@
+//! Out-of-core flow grouping: bounded-memory external sort + k-way merge.
+//!
+//! [`SpillGrouper`] accepts an unbounded packet stream while holding at
+//! most `budget_bytes` of packets in RAM. When the buffer fills it is
+//! sorted by the grouping key and written to a temporary store file (a
+//! *run*); at [`SpillGrouper::finish`] the runs are merged with a
+//! lowest-key k-way merge and the merged stream is grouped into flows one
+//! `(victim, protocol)` key at a time.
+//!
+//! ## Why this equals the in-memory pipeline
+//!
+//! A flow's content depends only on the multiset of its key's packets
+//! visited in time-nondecreasing order: `per_sensor` and `total_packets`
+//! are order-independent aggregates, and the 15-minute-gap boundaries
+//! depend only on the sorted time sequence. Sorting by
+//! `(canonical victim, protocol, time, …)` presents each key's packets
+//! exactly so, hence the flows — canonicalised by
+//! [`booters_netsim::sort_flows`] — are **identical** to
+//! `classify_flows` / `group_flows_par` over the same trace, at every
+//! budget, run count, and thread count.
+//!
+//! Determinism contract: the sort key is a total order over packets
+//! (ties broken by every remaining field, then by run index in the
+//! merge), initial chunk decodes are fanned out through `booters-par`
+//! with submission-order result collection, and refills are sequential —
+//! so the merged stream is a pure function of the input multiset.
+
+use crate::chunk::DEFAULT_CHUNK_CAPACITY;
+use crate::error::StoreError;
+use crate::reader::ChunkReader;
+use crate::writer::{ChunkWriter, PACKET_BYTES};
+use booters_netsim::flow::FLOW_GAP_SECS;
+use booters_netsim::packet::PacketSink;
+use booters_netsim::{Flow, FlowGrouper, SensorPacket, UdpProtocol, VictimAddr, VictimKey};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default in-memory budget when `BOOTERS_STORE_BUDGET` is unset: 256 MiB.
+pub const DEFAULT_BUDGET_BYTES: usize = 256 << 20;
+
+/// Smallest accepted budget — enough for a few dozen packets, so the
+/// grouper always makes progress.
+pub const MIN_BUDGET_BYTES: usize = 1024;
+
+/// Parse the `BOOTERS_STORE_BUDGET` environment variable: a byte count
+/// with an optional `k`/`m`/`g` suffix (case-insensitive, powers of
+/// 1024). Read fresh on every call — deliberately not cached, so test
+/// passes under different budgets (see `scripts/verify.sh`) see the
+/// value they set. Unset, empty, or malformed values yield `None`.
+pub fn budget_from_env() -> Option<usize> {
+    let raw = std::env::var("BOOTERS_STORE_BUDGET").ok()?;
+    parse_budget(&raw)
+}
+
+/// Parse a budget string (`"65536"`, `"64k"`, `"2m"`, `"1g"`).
+pub fn parse_budget(raw: &str) -> Option<usize> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (digits, shift) = match s.as_bytes()[s.len() - 1].to_ascii_lowercase() {
+        b'k' => (&s[..s.len() - 1], 10u32),
+        b'm' => (&s[..s.len() - 1], 20),
+        b'g' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: usize = digits.trim().parse().ok()?;
+    n.checked_mul(1usize << shift)
+}
+
+/// Configuration of one [`SpillGrouper`].
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// In-memory packet buffer budget in bytes (clamped to at least
+    /// [`MIN_BUDGET_BYTES`]).
+    pub budget_bytes: usize,
+    /// Victim keying rule, as in the in-memory groupers.
+    pub key: VictimKey,
+    /// Directory for spill runs; `None` uses the system temp dir. Each
+    /// grouper creates (and removes) its own unique subdirectory.
+    pub dir: Option<PathBuf>,
+    /// Packets per chunk in run files.
+    pub chunk_capacity: usize,
+}
+
+impl Default for SpillConfig {
+    /// Budget from `BOOTERS_STORE_BUDGET` (fresh read) or
+    /// [`DEFAULT_BUDGET_BYTES`]; by-IP keying; system temp dir.
+    fn default() -> SpillConfig {
+        SpillConfig {
+            budget_bytes: budget_from_env().unwrap_or(DEFAULT_BUDGET_BYTES),
+            key: VictimKey::ByIp,
+            dir: None,
+            chunk_capacity: DEFAULT_CHUNK_CAPACITY,
+        }
+    }
+}
+
+/// Counters describing how much work one (or several, via
+/// [`SpillStats::absorb`]) out-of-core grouping passes did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Packets pushed through the grouper.
+    pub packets: u64,
+    /// On-disk runs written (0 means the pass stayed in memory).
+    pub spill_runs: usize,
+    /// Total encoded bytes across run files.
+    pub run_bytes: u64,
+    /// Total chunks across run files.
+    pub run_chunks: usize,
+    /// Largest in-memory buffer observed, in packets.
+    pub peak_buf_packets: usize,
+}
+
+impl SpillStats {
+    /// Fold another pass's counters into this one (sums; peak is a max).
+    pub fn absorb(&mut self, other: &SpillStats) {
+        self.packets += other.packets;
+        self.spill_runs += other.spill_runs;
+        self.run_bytes += other.run_bytes;
+        self.run_chunks += other.run_chunks;
+        self.peak_buf_packets = self.peak_buf_packets.max(other.peak_buf_packets);
+    }
+}
+
+/// Result of [`SpillGrouper::finish`].
+#[derive(Debug, Clone)]
+pub struct GroupOutcome {
+    /// Flows in canonical [`booters_netsim::sort_flows`] order.
+    pub flows: Vec<Flow>,
+    /// What the pass cost.
+    pub stats: SpillStats,
+}
+
+/// Total order over packets used for runs and the merge: canonical
+/// victim, then protocol, then time — so each `(victim, protocol)` group
+/// arrives contiguously and time-nondecreasing — with the remaining
+/// fields breaking ties to make the order unique per packet value.
+type SortKey = (u32, usize, u64, u32, u8, u16);
+
+fn sort_key(key: VictimKey, p: &SensorPacket) -> SortKey {
+    (
+        key.canonical(p.victim).0,
+        p.protocol.index(),
+        p.time,
+        p.sensor,
+        p.ttl,
+        p.src_port,
+    )
+}
+
+/// Monotone source of unique spill-directory names within the process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Owns the spill directory and run files; cleanup is best-effort and
+/// idempotent, and runs on drop even when grouping errors out early.
+#[derive(Debug, Default)]
+struct RunSet {
+    dir: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+impl RunSet {
+    fn cleanup(&mut self) {
+        for f in self.files.drain(..) {
+            let _ = std::fs::remove_file(f);
+        }
+        if let Some(dir) = self.dir.take() {
+            let _ = std::fs::remove_dir(dir);
+        }
+    }
+}
+
+impl Drop for RunSet {
+    fn drop(&mut self) {
+        self.cleanup();
+    }
+}
+
+/// Bounded-memory streaming flow grouper (see module docs).
+#[derive(Debug)]
+pub struct SpillGrouper {
+    config: SpillConfig,
+    budget_packets: usize,
+    buf: Vec<SensorPacket>,
+    runs: RunSet,
+    stats: SpillStats,
+    /// First error hit while streaming through the infallible
+    /// [`PacketSink`] interface; surfaced by [`SpillGrouper::finish`].
+    deferred: Option<StoreError>,
+}
+
+impl SpillGrouper {
+    /// New grouper. No file is touched until the first spill.
+    pub fn new(config: SpillConfig) -> SpillGrouper {
+        let budget = config.budget_bytes.max(MIN_BUDGET_BYTES);
+        SpillGrouper {
+            budget_packets: (budget / PACKET_BYTES).max(1),
+            config,
+            buf: Vec::new(),
+            runs: RunSet::default(),
+            stats: SpillStats::default(),
+            deferred: None,
+        }
+    }
+
+    /// New grouper with the default (env-driven) configuration.
+    pub fn from_env() -> SpillGrouper {
+        SpillGrouper::new(SpillConfig::default())
+    }
+
+    /// Counters so far (final counters come with [`SpillGrouper::finish`]).
+    pub fn stats(&self) -> &SpillStats {
+        &self.stats
+    }
+
+    /// Push one packet, spilling to disk when the buffer hits the budget.
+    pub fn push(&mut self, p: &SensorPacket) -> Result<(), StoreError> {
+        self.buf.push(*p);
+        self.stats.packets += 1;
+        self.stats.peak_buf_packets = self.stats.peak_buf_packets.max(self.buf.len());
+        if self.buf.len() >= self.budget_packets {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    /// Push a batch of packets.
+    pub fn push_all(&mut self, packets: &[SensorPacket]) -> Result<(), StoreError> {
+        for p in packets {
+            self.push(p)?;
+        }
+        Ok(())
+    }
+
+    fn spill_dir(&mut self) -> Result<PathBuf, StoreError> {
+        if let Some(dir) = &self.runs.dir {
+            return Ok(dir.clone());
+        }
+        let base = self
+            .config
+            .dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = base.join(format!(
+            "booters-spill-{}-{}",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        self.runs.dir = Some(dir.clone());
+        Ok(dir)
+    }
+
+    fn spill(&mut self) -> Result<(), StoreError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let key = self.config.key;
+        self.buf.sort_by_key(|p| sort_key(key, p));
+        let dir = self.spill_dir()?;
+        let path = dir.join(format!("run-{:05}.bst", self.runs.files.len()));
+        let mut w = ChunkWriter::with_capacity(&path, self.config.chunk_capacity)?;
+        w.push_all(&self.buf)?;
+        let meta = w.finish()?;
+        self.runs.files.push(path);
+        self.stats.spill_runs += 1;
+        self.stats.run_bytes += meta.file_bytes;
+        self.stats.run_chunks += meta.chunks;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Sort/merge/group everything pushed so far. Run files are removed
+    /// before this returns (and on drop if it never runs).
+    pub fn finish(mut self) -> Result<GroupOutcome, StoreError> {
+        if let Some(e) = self.deferred.take() {
+            return Err(e);
+        }
+        let key = self.config.key;
+        let mut flows = if self.runs.files.is_empty() {
+            // Everything fit in the budget: sort in place and group —
+            // the merge path minus the disk round-trip.
+            self.buf.sort_by_key(|p| sort_key(key, p));
+            let mut grouper = KeyedGrouper::new(key);
+            for p in &self.buf {
+                grouper.push(p);
+            }
+            grouper.finish()
+        } else {
+            self.spill()?; // final partial run
+            merge_runs(&self.runs.files, key)?
+        };
+        booters_netsim::sort_flows(&mut flows);
+        self.runs.cleanup();
+        Ok(GroupOutcome {
+            flows,
+            stats: self.stats,
+        })
+    }
+}
+
+impl PacketSink for SpillGrouper {
+    /// Streaming-sink entry point: errors are deferred to
+    /// [`SpillGrouper::finish`].
+    fn accept(&mut self, p: &SensorPacket) {
+        if self.deferred.is_some() {
+            return;
+        }
+        if let Err(e) = self.push(p) {
+            self.deferred = Some(e);
+        }
+    }
+}
+
+/// Group a key-sorted packet stream: one [`FlowGrouper`] per
+/// `(canonical victim, protocol)` group, swapped out when the key
+/// changes, so memory is bounded by one key's open flows.
+struct KeyedGrouper {
+    key: VictimKey,
+    current: Option<((VictimAddr, UdpProtocol), FlowGrouper)>,
+    flows: Vec<Flow>,
+}
+
+impl KeyedGrouper {
+    fn new(key: VictimKey) -> KeyedGrouper {
+        KeyedGrouper {
+            key,
+            current: None,
+            flows: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, p: &SensorPacket) {
+        let gk = (self.key.canonical(p.victim), p.protocol);
+        match &mut self.current {
+            Some((ck, grouper)) if *ck == gk => grouper.push(p),
+            _ => {
+                let mut grouper = FlowGrouper::with_key(self.key);
+                grouper.push(p);
+                if let Some((_, old)) = std::mem::replace(&mut self.current, Some((gk, grouper))) {
+                    self.flows.extend(old.finish());
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<Flow> {
+        if let Some((_, grouper)) = self.current.take() {
+            self.flows.extend(grouper.finish());
+        }
+        self.flows
+    }
+}
+
+/// One run's read position during the merge.
+struct RunCursor {
+    reader: ChunkReader,
+    chunk: Vec<SensorPacket>,
+    pos: usize,
+    next_chunk: usize,
+}
+
+impl RunCursor {
+    fn current(&self) -> Option<&SensorPacket> {
+        self.chunk.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Result<(), StoreError> {
+        self.pos += 1;
+        while self.pos >= self.chunk.len() && self.next_chunk < self.reader.chunk_count() {
+            self.chunk = self.reader.read_chunk(self.next_chunk)?;
+            self.next_chunk += 1;
+            self.pos = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Lowest-key k-way merge over sorted run files, grouped on the fly.
+///
+/// The first chunk of every run is decoded in one `booters-par` fan-out
+/// (submission-order results); subsequent chunks are decoded on demand
+/// as each cursor drains. Heap ties between runs carrying equal packets
+/// are broken by run index — with the sort key unique per packet value,
+/// equal keys mean equal packets, so even the tie-break cannot affect
+/// the grouped output.
+fn merge_runs(run_files: &[PathBuf], key: VictimKey) -> Result<Vec<Flow>, StoreError> {
+    let mut readers: Vec<ChunkReader> = run_files
+        .iter()
+        .map(ChunkReader::open)
+        .collect::<Result<_, _>>()?;
+    let first_raw: Vec<Vec<u8>> = readers
+        .iter_mut()
+        .map(|r| {
+            if r.chunk_count() == 0 {
+                Ok(Vec::new())
+            } else {
+                r.raw_chunk(0)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let first_chunks = booters_par::par_map(&first_raw, |bytes| {
+        if bytes.is_empty() {
+            Ok(Vec::new())
+        } else {
+            crate::chunk::decode_chunk(bytes)
+        }
+    });
+    let mut cursors: Vec<RunCursor> = Vec::with_capacity(readers.len());
+    for (reader, chunk) in readers.into_iter().zip(first_chunks) {
+        cursors.push(RunCursor {
+            reader,
+            chunk: chunk?,
+            pos: 0,
+            next_chunk: 1,
+        });
+    }
+
+    let mut heap: BinaryHeap<Reverse<(SortKey, usize)>> = BinaryHeap::new();
+    for (i, c) in cursors.iter().enumerate() {
+        if let Some(p) = c.current() {
+            heap.push(Reverse((sort_key(key, p), i)));
+        }
+    }
+    let mut grouper = KeyedGrouper::new(key);
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let p = *cursors[i].current().expect("cursor on heap has a packet");
+        grouper.push(&p);
+        cursors[i].advance()?;
+        if let Some(np) = cursors[i].current() {
+            heap.push(Reverse((sort_key(key, np), i)));
+        }
+    }
+    Ok(grouper.finish())
+}
+
+/// One-shot out-of-core grouping of a complete trace.
+pub fn group_out_of_core(
+    packets: &[SensorPacket],
+    config: SpillConfig,
+) -> Result<GroupOutcome, StoreError> {
+    let mut g = SpillGrouper::new(config);
+    g.push_all(packets)?;
+    g.finish()
+}
+
+/// Out-of-core classification: grouped flows with the paper's
+/// attack/scan rule applied, matching `classify_flows` up to the
+/// canonical flow order.
+pub fn classify_out_of_core(
+    packets: &[SensorPacket],
+    config: SpillConfig,
+) -> Result<(Vec<(Flow, booters_netsim::FlowClass)>, SpillStats), StoreError> {
+    let out = group_out_of_core(packets, config)?;
+    let flows = out
+        .flows
+        .into_iter()
+        .map(|f| {
+            let class = f.classify();
+            (f, class)
+        })
+        .collect();
+    Ok((flows, out.stats))
+}
+
+/// A gap larger than this between *keys* never matters — re-exported gap
+/// constant so callers sizing budgets can reason about flow lifetimes.
+pub const GROUP_GAP_SECS: u64 = FLOW_GAP_SECS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use booters_netsim::{classify_flows, sort_flows, UdpProtocol};
+
+    fn pkt(time: u64, sensor: u32, victim: u32, proto: usize) -> SensorPacket {
+        SensorPacket {
+            time,
+            sensor,
+            victim: VictimAddr(victim),
+            protocol: UdpProtocol::ALL[proto],
+            ttl: 54,
+            src_port: 80,
+        }
+    }
+
+    /// A mixed trace: many victims/protocols, bursts, gaps, duplicates.
+    fn mixed_trace() -> Vec<SensorPacket> {
+        let mut t = Vec::new();
+        for v in 0..30u32 {
+            let proto = (v % 10) as usize;
+            let base = (v as u64 % 7) * 50;
+            for i in 0..9u64 {
+                let sensor = if v % 2 == 0 { 0 } else { i as u32 % 4 };
+                t.push(pkt(base + i * 40, sensor, 0x1900_0000 + v, proto));
+            }
+            // Second burst after a closing gap.
+            for i in 0..4u64 {
+                t.push(pkt(base + 9 * 40 + FLOW_GAP_SECS + i * 25, 1, 0x1900_0000 + v, proto));
+            }
+            // A duplicate packet.
+            t.push(pkt(base, 0, 0x1900_0000 + v, proto));
+        }
+        t.sort_by_key(|p| p.time);
+        t
+    }
+
+    fn tiny_config(budget: usize) -> SpillConfig {
+        SpillConfig {
+            budget_bytes: budget,
+            key: VictimKey::ByIp,
+            dir: None,
+            chunk_capacity: 16,
+        }
+    }
+
+    #[test]
+    fn out_of_core_matches_in_memory_classification() {
+        let trace = mixed_trace();
+        let mut expected: Vec<Flow> =
+            classify_flows(&trace).into_iter().map(|(f, _)| f).collect();
+        sort_flows(&mut expected);
+        // Budget small enough to force many runs.
+        let out = group_out_of_core(&trace, tiny_config(MIN_BUDGET_BYTES)).unwrap();
+        assert!(out.stats.spill_runs >= 3, "runs={}", out.stats.spill_runs);
+        assert_eq!(out.flows, expected);
+        // And with everything in memory (no runs at all).
+        let out = group_out_of_core(&trace, tiny_config(DEFAULT_BUDGET_BYTES)).unwrap();
+        assert_eq!(out.stats.spill_runs, 0);
+        assert_eq!(out.flows, expected);
+    }
+
+    #[test]
+    fn output_is_invariant_across_budgets_and_threads() {
+        let trace = mixed_trace();
+        let baseline = group_out_of_core(&trace, tiny_config(1 << 20)).unwrap().flows;
+        for budget in [MIN_BUDGET_BYTES, 4096, 16 << 10] {
+            for threads in [1usize, 4] {
+                let flows = booters_par::with_threads(threads, || {
+                    group_out_of_core(&trace, tiny_config(budget)).unwrap().flows
+                });
+                assert_eq!(flows, baseline, "budget={budget} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_keying_matches_in_memory_prefix_grouping() {
+        // Carpet-bombing trace across one /24.
+        let trace: Vec<SensorPacket> = (0..40u64)
+            .map(|i| pkt(i * 3, 0, 0x1907_0000 + (i % 13) as u32, 2))
+            .collect();
+        let expected = booters_netsim::group_flows_par(&trace, VictimKey::ByPrefix24);
+        let mut cfg = tiny_config(MIN_BUDGET_BYTES);
+        cfg.key = VictimKey::ByPrefix24;
+        let out = group_out_of_core(&trace, cfg).unwrap();
+        assert_eq!(out.flows, expected);
+        assert_eq!(out.flows.len(), 1);
+    }
+
+    #[test]
+    fn sink_interface_defers_errors_and_reports_stats() {
+        let trace = mixed_trace();
+        let mut g = SpillGrouper::new(tiny_config(MIN_BUDGET_BYTES));
+        for p in &trace {
+            g.accept(p);
+        }
+        assert_eq!(g.stats().packets, trace.len() as u64);
+        let out = g.finish().unwrap();
+        assert_eq!(out.stats.packets, trace.len() as u64);
+        assert!(out.stats.run_bytes > 0);
+        assert!(out.stats.run_chunks > 0);
+        assert!(out.stats.peak_buf_packets <= MIN_BUDGET_BYTES / PACKET_BYTES);
+    }
+
+    #[test]
+    fn spill_files_are_cleaned_up() {
+        let dir = crate::test_path("extsort_cleanup_dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = mixed_trace();
+        let cfg = SpillConfig {
+            dir: Some(dir.clone()),
+            ..tiny_config(MIN_BUDGET_BYTES)
+        };
+        let out = group_out_of_core(&trace, cfg.clone()).unwrap();
+        assert!(out.stats.spill_runs >= 3);
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "spill dir not emptied"
+        );
+        // Dropping a grouper mid-stream cleans up too.
+        let mut g = SpillGrouper::new(cfg);
+        g.push_all(&trace).unwrap();
+        drop(g);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_and_singleton_streams_work() {
+        let out = group_out_of_core(&[], tiny_config(MIN_BUDGET_BYTES)).unwrap();
+        assert!(out.flows.is_empty());
+        assert_eq!(out.stats.packets, 0);
+        let one = [pkt(10, 0, 1, 0)];
+        let out = group_out_of_core(&one, tiny_config(MIN_BUDGET_BYTES)).unwrap();
+        assert_eq!(out.flows.len(), 1);
+        assert_eq!(out.flows[0].total_packets, 1);
+    }
+
+    #[test]
+    fn stats_absorb_sums_and_maxes() {
+        let mut a = SpillStats {
+            packets: 10,
+            spill_runs: 2,
+            run_bytes: 100,
+            run_chunks: 3,
+            peak_buf_packets: 40,
+        };
+        let b = SpillStats {
+            packets: 5,
+            spill_runs: 1,
+            run_bytes: 50,
+            run_chunks: 2,
+            peak_buf_packets: 60,
+        };
+        a.absorb(&b);
+        assert_eq!(a.packets, 15);
+        assert_eq!(a.spill_runs, 3);
+        assert_eq!(a.run_bytes, 150);
+        assert_eq!(a.run_chunks, 5);
+        assert_eq!(a.peak_buf_packets, 60);
+    }
+
+    #[test]
+    fn budget_parsing_accepts_suffixes() {
+        assert_eq!(parse_budget("65536"), Some(65536));
+        assert_eq!(parse_budget("64k"), Some(64 << 10));
+        assert_eq!(parse_budget("64K"), Some(64 << 10));
+        assert_eq!(parse_budget(" 2m "), Some(2 << 20));
+        assert_eq!(parse_budget("1g"), Some(1 << 30));
+        assert_eq!(parse_budget(""), None);
+        assert_eq!(parse_budget("banana"), None);
+        assert_eq!(parse_budget("12q"), None);
+    }
+}

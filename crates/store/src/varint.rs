@@ -1,0 +1,129 @@
+//! LEB128 varints and zig-zag signed mapping — the byte-level substrate
+//! of the columnar codec.
+//!
+//! Deltas are computed with *wrapping* arithmetic so any `u64`/`i64`
+//! sequence round-trips exactly, including adversarial jumps near the
+//! type bounds; zig-zag keeps small-magnitude deltas (the common case for
+//! sorted time and clustered victim columns) in one or two bytes.
+
+use crate::error::StoreError;
+
+/// Append `v` as an LEB128 varint (1–10 bytes).
+pub fn encode_u64(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode an LEB128 varint at `*pos`, advancing it. Truncated or
+/// over-long input is a typed [`StoreError::Corrupt`], never a panic.
+pub fn decode_u64(buf: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(StoreError::corrupt("truncated varint"));
+        };
+        *pos += 1;
+        // The 10th byte may only carry the top bit of a u64.
+        if shift == 63 && byte > 1 {
+            return Err(StoreError::corrupt("varint overflows u64"));
+        }
+        if shift > 63 {
+            return Err(StoreError::corrupt("varint longer than 10 bytes"));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Map a signed value onto an unsigned one with small absolute values
+/// staying small (zig-zag).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips_across_magnitudes() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &cases {
+            buf.clear();
+            encode_u64(v, &mut buf);
+            let mut pos = 0;
+            assert_eq!(decode_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_and_orders_by_magnitude() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -123_456_789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert!(zigzag(-1) < zigzag(2));
+        assert!(zigzag(3) < zigzag(-4));
+    }
+
+    #[test]
+    fn truncated_and_overlong_varints_are_errors() {
+        // A continuation bit with nothing after it.
+        let mut pos = 0;
+        assert!(matches!(
+            decode_u64(&[0x80], &mut pos),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Eleven continuation bytes can never be a u64.
+        let mut pos = 0;
+        assert!(matches!(
+            decode_u64(&[0x80; 11], &mut pos),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // A 10th byte carrying more than the final bit overflows.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x02);
+        let mut pos = 0;
+        assert!(matches!(
+            decode_u64(&buf, &mut pos),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn small_deltas_stay_small() {
+        let mut buf = Vec::new();
+        encode_u64(zigzag(1), &mut buf);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        encode_u64(zigzag(-60), &mut buf);
+        assert_eq!(buf.len(), 1);
+    }
+}

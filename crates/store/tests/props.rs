@@ -1,0 +1,182 @@
+//! Property-based tests for the store: codec round-trip identity over
+//! arbitrary packet batches (including singleton and duplicate-timestamp
+//! chunks), corruption detection (any byte flip → typed error, never a
+//! panic or silently wrong packets), file round-trips at small chunk
+//! capacities, and out-of-core grouping equivalence with the in-memory
+//! flow pipeline under spill-forcing budgets.
+
+use booters_netsim::{classify_flows, sort_flows, Flow, SensorPacket, UdpProtocol, VictimAddr};
+use booters_store::{
+    decode_chunk, encode_chunk, group_out_of_core, ChunkReader, ChunkWriter, SpillConfig,
+    StoreError, MIN_BUDGET_BYTES,
+};
+use booters_testkit::strategy::prop;
+use booters_testkit::{forall, prop_assert, prop_assert_eq, Strategy};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique scratch path per call (parallel test threads never collide).
+fn scratch(name: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "booters-store-props-{}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+        name
+    ))
+}
+
+/// Strategy: one arbitrary packet. The tight time/victim ranges make
+/// duplicate timestamps and duplicate whole packets common — the codec
+/// must be exact on them, not just on well-spread data.
+fn packet() -> impl Strategy<Value = SensorPacket> {
+    (
+        0u64..5_000,  // time: small range → frequent duplicates
+        0u32..8,      // sensor
+        0u32..1_000,  // victim
+        0usize..UdpProtocol::ALL.len(),
+        0u32..256,    // ttl
+        0u32..65_536, // src_port
+    )
+        .prop_map(|(time, sensor, victim, p, ttl, src_port)| SensorPacket {
+            time,
+            sensor,
+            victim: VictimAddr(victim),
+            protocol: UdpProtocol::ALL[p],
+            ttl: ttl as u8,
+            src_port: src_port as u16,
+        })
+}
+
+/// Strategy: a packet batch, possibly empty.
+fn batch(max: usize) -> impl Strategy<Value = Vec<SensorPacket>> {
+    prop::collection::vec(packet(), 0..max)
+}
+
+forall! {
+    #![cases(96)]
+
+    fn codec_round_trip_is_identity(packets in batch(300)) {
+        if packets.is_empty() {
+            return; // writers never emit empty chunks
+        }
+        let bytes = encode_chunk(&packets);
+        prop_assert_eq!(decode_chunk(&bytes).unwrap(), packets);
+    }
+
+    fn singleton_chunks_round_trip(p in packet()) {
+        let packets = vec![p];
+        prop_assert_eq!(decode_chunk(&encode_chunk(&packets)).unwrap(), packets);
+    }
+
+    fn duplicate_timestamp_chunks_round_trip(p in packet(), n in 1usize..50) {
+        // The degenerate chunk: one packet value repeated — every delta
+        // column is all zeros.
+        let packets = vec![p; n];
+        prop_assert_eq!(decode_chunk(&encode_chunk(&packets)).unwrap(), packets);
+    }
+
+    fn any_byte_flip_is_a_typed_error(packets in batch(80), pos in 0usize..1_000_000, bit in 0u32..8) {
+        if packets.is_empty() {
+            return;
+        }
+        let mut bytes = encode_chunk(&packets);
+        let i = pos % bytes.len();
+        bytes[i] ^= 1 << bit;
+        // Never a panic, never silently wrong data — always Corrupt.
+        match decode_chunk(&bytes) {
+            Err(StoreError::Corrupt { .. }) => {}
+            other => prop_assert!(false, "flip at byte {} bit {} gave {:?}", i, bit, other),
+        }
+    }
+
+    fn truncation_is_an_error(packets in batch(60), cut in 0usize..1_000_000) {
+        if packets.is_empty() {
+            return;
+        }
+        let bytes = encode_chunk(&packets);
+        let cut = cut % bytes.len(); // strictly shorter than the chunk
+        prop_assert!(decode_chunk(&bytes[..cut]).is_err());
+    }
+}
+
+forall! {
+    #![cases(24)]
+
+    fn file_round_trip_preserves_packets(packets in batch(400), cap in 1usize..64) {
+        let path = scratch("file_rt");
+        let mut w = ChunkWriter::with_capacity(&path, cap).unwrap();
+        w.push_all(&packets).unwrap();
+        let meta = w.finish().unwrap();
+        prop_assert_eq!(meta.packets, packets.len() as u64);
+        let mut r = ChunkReader::open(&path).unwrap();
+        prop_assert_eq!(r.total_packets(), packets.len() as u64);
+        prop_assert_eq!(r.read_all().unwrap(), packets);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn file_byte_flip_never_yields_wrong_packets(packets in batch(120), pos in 0usize..1_000_000, bit in 0u32..8) {
+        // Corrupt ANY single byte of a complete store file: opening or
+        // reading must either fail with a typed error or — impossible by
+        // CRC design, asserted here — never return altered packets.
+        let path = scratch("file_flip");
+        let mut w = ChunkWriter::with_capacity(&path, 32).unwrap();
+        w.push_all(&packets).unwrap();
+        w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let i = pos % bytes.len();
+        bytes[i] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+        match ChunkReader::open(&path) {
+            Err(StoreError::BadMagic)
+            | Err(StoreError::Corrupt { .. })
+            | Err(StoreError::UnsupportedVersion(_))
+            | Err(StoreError::Io(_)) => {}
+            Ok(mut r) => match r.read_all() {
+                Err(_) => {}
+                Ok(got) => prop_assert_eq!(
+                    got,
+                    packets,
+                    "flip at byte {} bit {} silently altered data",
+                    i,
+                    bit
+                ),
+            },
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn out_of_core_grouping_equals_in_memory(packets in prop::collection::vec(packet(), 0..500)) {
+        let mut sorted = packets.clone();
+        sorted.sort_by_key(|p: &SensorPacket| p.time); // groupers need time order
+        let mut expected: Vec<Flow> = classify_flows(&sorted)
+            .into_iter()
+            .map(|(f, _)| f)
+            .collect();
+        sort_flows(&mut expected);
+        // Minimum budget: every full batch spills multiple runs.
+        let cfg = SpillConfig {
+            budget_bytes: MIN_BUDGET_BYTES,
+            chunk_capacity: 8,
+            ..SpillConfig::default()
+        };
+        let out = group_out_of_core(&sorted, cfg).unwrap();
+        prop_assert_eq!(out.flows, expected);
+        if sorted.len() * booters_store::PACKET_BYTES > 3 * MIN_BUDGET_BYTES {
+            prop_assert!(out.stats.spill_runs >= 3, "runs={}", out.stats.spill_runs);
+        }
+    }
+
+    fn out_of_core_grouping_is_thread_invariant(packets in prop::collection::vec(packet(), 0..300)) {
+        let mut sorted = packets;
+        sorted.sort_by_key(|p: &SensorPacket| p.time);
+        let cfg = || SpillConfig {
+            budget_bytes: MIN_BUDGET_BYTES,
+            chunk_capacity: 8,
+            ..SpillConfig::default()
+        };
+        let one = booters_par::with_threads(1, || group_out_of_core(&sorted, cfg()).unwrap().flows);
+        let four = booters_par::with_threads(4, || group_out_of_core(&sorted, cfg()).unwrap().flows);
+        prop_assert_eq!(one, four);
+    }
+}

@@ -24,4 +24,12 @@ cargo test -q --workspace --offline
 echo "==> cargo test (offline, BOOTERS_THREADS=4)"
 BOOTERS_THREADS=4 cargo test -q --workspace --offline
 
+# Third pass with a deliberately tiny storage budget: 64 KiB holds only a
+# few thousand packets, so every booters-store consumer that reads
+# SpillConfig::default() (engine-trace classification goldens, scenario
+# spill sinks) is forced through the spill-to-disk external sort and
+# k-way merge instead of the in-RAM fast path. Outputs must not change.
+echo "==> cargo test (offline, BOOTERS_STORE_BUDGET=65536)"
+BOOTERS_STORE_BUDGET=65536 cargo test -q --workspace --offline
+
 echo "==> verify: OK"

@@ -21,6 +21,7 @@
 //! | [`market`] | agent-based booter market with the §2 intervention timeline |
 //! | [`core`] | scenario runner, datasets, the §4 pipeline, table/figure renderers |
 //! | [`par`] | deterministic scoped thread-pool driving the simulate→group→fit hot paths |
+//! | [`store`] | chunked columnar on-disk packet store + out-of-core flow grouping |
 //!
 //! Parallelism never changes results: every report is byte-identical at
 //! any `BOOTERS_THREADS` setting (see DESIGN.md, "Determinism contract").
@@ -50,4 +51,5 @@ pub use booters_market as market;
 pub use booters_netsim as netsim;
 pub use booters_par as par;
 pub use booters_stats as stats;
+pub use booters_store as store;
 pub use booters_timeseries as timeseries;
