@@ -1,11 +1,16 @@
 #![allow(clippy::needless_range_loop)]
 //! GLM fitting benchmarks: the paper-sized NB2 regression (148 weeks × 19
-//! columns), the Poisson baseline, and OLS.
+//! columns) through the warm-started and cold-started profile paths, the
+//! fused vs separate normal-equation kernels, the allocation-free
+//! workspace re-fit vs the allocating entry point, the Poisson baseline,
+//! and OLS.
 
-use booters_glm::irls::IrlsOptions;
+use booters_glm::irls::{fit_irls, IrlsOptions};
 use booters_glm::negbin::{fit_negbin, NegBinOptions};
 use booters_glm::ols::fit_ols;
 use booters_glm::poisson::fit_poisson;
+use booters_glm::workspace::{fit_irls_into, IrlsWorkspace, WarmStart};
+use booters_glm::{LogLink, NegBin2};
 use booters_linalg::Matrix;
 use booters_stats::dist::NegativeBinomial;
 use booters_timeseries::design::{its_design, DesignConfig};
@@ -40,6 +45,8 @@ fn paper_problem() -> (Matrix, Vec<f64>, Vec<String>) {
 
 fn bench_negbin_fit(c: &mut Criterion) {
     let (x, y, names) = paper_problem();
+    // Default options = warm-started profile continuation; same name as
+    // the pre-workspace baseline so BENCH_glm.json records the speedup.
     c.bench_function("negbin_fit_paper_size", |b| {
         b.iter(|| {
             let fit = fit_negbin(
@@ -50,6 +57,77 @@ fn bench_negbin_fit(c: &mut Criterion) {
             )
             .unwrap();
             black_box(fit.alpha)
+        })
+    });
+    // Cold-started profile: every golden-section point refits from
+    // scratch. The gap to the case above is what warm starting buys.
+    c.bench_function("negbin_fit_paper_size_cold_start", |b| {
+        let opts = NegBinOptions {
+            warm_start: false,
+            ..NegBinOptions::default()
+        };
+        b.iter(|| {
+            let fit = fit_negbin(black_box(&x), black_box(&y), &names, &opts).unwrap();
+            black_box(fit.alpha)
+        })
+    });
+}
+
+fn bench_irls_kernels(c: &mut Criterion) {
+    // One IRLS inner step's linear algebra on the paper-shaped design:
+    // separate allocating XᵀWX + XᵀWz vs the fused in-place kernel.
+    let (x, y, _) = paper_problem();
+    let n = x.rows();
+    let p = x.cols();
+    let w: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64 * 0.3).collect();
+    let z: Vec<f64> = y.iter().map(|v| (v + 0.5).ln()).collect();
+    c.bench_function("irls_kernel_separate_alloc", |b| {
+        b.iter(|| {
+            let g = x.xtwx(black_box(&w)).unwrap();
+            let v = x.xtwy(black_box(&w), black_box(&z)).unwrap();
+            black_box((g[(0, 0)], v[0]))
+        })
+    });
+    c.bench_function("irls_kernel_fused_into", |b| {
+        let mut g = booters_linalg::Matrix::zeros(p, p);
+        let mut v = vec![0.0; p];
+        b.iter(|| {
+            x.xtwx_xtwz_into(black_box(&w), black_box(&z), &mut g, &mut v)
+                .unwrap();
+            black_box((g[(0, 0)], v[0]))
+        })
+    });
+}
+
+fn bench_irls_workspace(c: &mut Criterion) {
+    // A full NB2 IRLS fit at fixed α: the historic allocating entry point
+    // vs a re-used workspace (zero allocations per fit after warm-up —
+    // see crates/glm/tests/alloc_counter.rs).
+    let (x, y, _) = paper_problem();
+    let family = NegBin2::new(0.05);
+    let opts = IrlsOptions::default();
+    c.bench_function("irls_fit_allocating", |b| {
+        b.iter(|| {
+            let fit = fit_irls(black_box(&x), black_box(&y), &family, &LogLink, &opts).unwrap();
+            black_box(fit.deviance)
+        })
+    });
+    c.bench_function("irls_fit_workspace_reuse", |b| {
+        let mut ws = IrlsWorkspace::new();
+        fit_irls_into(&mut ws, &x, &y, None, &family, &LogLink, &opts, WarmStart::Cold).unwrap();
+        b.iter(|| {
+            fit_irls_into(
+                &mut ws,
+                black_box(&x),
+                black_box(&y),
+                None,
+                &family,
+                &LogLink,
+                &opts,
+                WarmStart::Cold,
+            )
+            .unwrap();
+            black_box(ws.deviance())
         })
     });
 }
@@ -81,5 +159,12 @@ fn bench_ols_fit(c: &mut Criterion) {
     });
 }
 
-bench_group!(benches, bench_negbin_fit, bench_poisson_fit, bench_ols_fit);
+bench_group!(
+    benches,
+    bench_negbin_fit,
+    bench_irls_kernels,
+    bench_irls_workspace,
+    bench_poisson_fit,
+    bench_ols_fit
+);
 bench_main!(benches);

@@ -14,9 +14,9 @@
 //!   [`with_without_easter`] measures what it buys.
 
 use crate::datasets::HoneypotDataset;
-use crate::pipeline::{fit_series, global_intervention_windows, PipelineConfig};
+use crate::pipeline::{fit_series, global_intervention_windows, with_fit_workspace, PipelineConfig};
 use booters_glm::irls::IrlsOptions;
-use booters_glm::poisson::fit_poisson;
+use booters_glm::poisson::fit_poisson_with;
 use booters_glm::GlmError;
 use booters_market::calibration::Calibration;
 use booters_timeseries::design::{its_design, DesignConfig};
@@ -118,13 +118,16 @@ pub fn poisson_vs_negbin(
     let windows = global_intervention_windows(cal);
     let nb = fit_series(&series, &windows, cfg)?;
     let design = its_design(&series, &windows, &cfg.design);
-    let po = fit_poisson(
-        &design.x,
-        series.values(),
-        &design.names,
-        &IrlsOptions::default(),
-        0.95,
-    )?;
+    let po = with_fit_workspace(|ws| {
+        fit_poisson_with(
+            ws,
+            &design.x,
+            series.values(),
+            &design.names,
+            &IrlsOptions::default(),
+            0.95,
+        )
+    })?;
     let xmas = "Xmas 2018 event";
     Ok(DispersionAblation {
         alpha: nb.fit.alpha,

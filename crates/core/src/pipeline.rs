@@ -4,7 +4,8 @@
 
 use crate::datasets::HoneypotDataset;
 use booters_glm::inference::CovarianceKind;
-use booters_glm::negbin::{fit_negbin, NegBinFit, NegBinOptions};
+use booters_glm::negbin::{fit_negbin_with, NegBinFit, NegBinOptions};
+use booters_glm::workspace::IrlsWorkspace;
 use booters_glm::GlmError;
 use booters_market::calibration::Calibration;
 use booters_market::events;
@@ -37,6 +38,21 @@ impl Default for PipelineConfig {
             negbin: NegBinOptions::default(),
         }
     }
+}
+
+thread_local! {
+    /// Per-thread IRLS buffer arena shared by every GLM fit this thread
+    /// performs — pipeline fits, the country fan-out workers, the
+    /// duration-scan candidates and the ablation refits all reuse it, so
+    /// the per-iteration buffers are allocated once per thread, not once
+    /// per model.
+    static FIT_WORKSPACE: std::cell::RefCell<IrlsWorkspace> =
+        std::cell::RefCell::new(IrlsWorkspace::new());
+}
+
+/// Run `f` with this thread's shared IRLS workspace.
+pub(crate) fn with_fit_workspace<T>(f: impl FnOnce(&mut IrlsWorkspace) -> T) -> T {
+    FIT_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
 }
 
 /// The global (Table 1) intervention windows, with the paper's durations.
@@ -176,7 +192,7 @@ pub fn fit_series(
     let y: Vec<f64> = series.values().iter().map(|&v| v.max(0.0).round()).collect();
     let mut opts = cfg.negbin;
     opts.covariance = cfg.covariance;
-    let fit = fit_negbin(&design.x, &y, &design.names, &opts)?;
+    let fit = with_fit_workspace(|ws| fit_negbin_with(ws, &design.x, &y, &design.names, &opts))?;
     Ok(GlobalModelResult {
         fit,
         names: design.names,
@@ -369,7 +385,7 @@ pub fn trend_break_test(
     let y: Vec<f64> = series.values().iter().map(|&v| v.max(0.0).round()).collect();
     let mut opts = cfg.negbin;
     opts.covariance = cfg.covariance;
-    let fit = booters_glm::negbin::fit_negbin(&x, &y, &names, &opts)?;
+    let fit = with_fit_workspace(|ws| fit_negbin_with(ws, &x, &y, &names, &opts))?;
     let inter = fit.inference.coef("break_trend").expect("interaction");
     let trend = fit.inference.coef("time").expect("trend");
     Ok(TrendBreakTest {

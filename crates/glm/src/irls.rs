@@ -12,7 +12,8 @@
 
 use crate::family::Family;
 use crate::link::Link;
-use booters_linalg::{cholesky_with_ridge, LinalgError, Matrix};
+use crate::workspace::{fit_irls_into, IrlsWorkspace, WarmStart};
+use booters_linalg::{LinalgError, Matrix};
 use std::fmt;
 
 /// Errors from GLM fitting.
@@ -206,117 +207,9 @@ pub fn fit_irls_offset(
     link: &dyn Link,
     options: &IrlsOptions,
 ) -> Result<GlmFit, GlmError> {
-    let n = x.rows();
-    let p = x.cols();
-    if y.len() != n {
-        return Err(GlmError::DimensionMismatch { rows: n, y_len: y.len() });
-    }
-    if n < p {
-        return Err(GlmError::TooFewObservations { n, p });
-    }
-    for (i, &yi) in y.iter().enumerate() {
-        if !yi.is_finite() {
-            return Err(GlmError::InvalidResponse { at: i });
-        }
-        // Count families cannot see negative responses.
-        if matches!(family.name(), "poisson" | "negbin2") && yi < 0.0 {
-            return Err(GlmError::InvalidResponse { at: i });
-        }
-    }
-    if let Some(o) = offset {
-        if o.len() != n {
-            return Err(GlmError::DimensionMismatch { rows: n, y_len: o.len() });
-        }
-    }
-    let off = |i: usize| offset.map_or(0.0, |o| o[i]);
-
-    // Initialise μ from the response (standard GLM start): nudge counts off
-    // zero, then η = g(μ).
-    let mean_y = y.iter().sum::<f64>() / n as f64;
-    let mut mu: Vec<f64> = y
-        .iter()
-        .map(|&yi| {
-            let m = (yi + mean_y.max(1.0)) / 2.0;
-            m.max(1e-8)
-        })
-        .collect();
-    let mut eta: Vec<f64> = mu.iter().map(|&m| link.link(m)).collect();
-    let mut beta = vec![0.0; p];
-    let mut deviance: f64 = y
-        .iter()
-        .zip(&mu)
-        .map(|(&yi, &mi)| family.unit_deviance(yi, mi))
-        .sum();
-    let mut last_change = f64::INFINITY;
-
-    for iter in 1..=options.max_iterations {
-        // Working response and weights.
-        let mut z = vec![0.0; n];
-        let mut w = vec![0.0; n];
-        for i in 0..n {
-            let d = link.d_inverse(eta[i]).max(1e-10);
-            let v = family.variance(mu[i]).max(1e-10);
-            // Offset enters η but is not estimated: regress z − o on X.
-            z[i] = (eta[i] - off(i)) + (y[i] - mu[i]) / d;
-            w[i] = d * d / v;
-        }
-
-        // Solve XᵀWX β = XᵀWz.
-        let xtwx = x.xtwx(&w)?;
-        let xtwz = x.xtwy(&w, &z)?;
-        let (chol, _ridge) = cholesky_with_ridge(&xtwx, 14)?;
-        let new_beta = chol.solve(&xtwz)?;
-
-        // Update state.
-        let mut new_eta = x.matvec(&new_beta)?;
-        if offset.is_some() {
-            for (i, e) in new_eta.iter_mut().enumerate() {
-                *e += off(i);
-            }
-        }
-        let new_mu: Vec<f64> = new_eta.iter().map(|&e| link.inverse(e)).collect();
-        let new_deviance: f64 = y
-            .iter()
-            .zip(&new_mu)
-            .map(|(&yi, &mi)| family.unit_deviance(yi, mi))
-            .sum();
-
-        beta = new_beta;
-        eta = new_eta;
-        mu = new_mu;
-        last_change = ((deviance - new_deviance).abs()) / (new_deviance.abs() + 0.1);
-        deviance = new_deviance;
-
-        if last_change < options.tolerance {
-            let log_likelihood: f64 = y
-                .iter()
-                .zip(&mu)
-                .map(|(&yi, &mi)| family.log_likelihood(yi, mi))
-                .sum();
-            let mut weights = vec![0.0; n];
-            for i in 0..n {
-                let d = link.d_inverse(eta[i]).max(1e-10);
-                let v = family.variance(mu[i]).max(1e-10);
-                weights[i] = d * d / v;
-            }
-            return Ok(GlmFit {
-                beta,
-                mu,
-                eta,
-                weights,
-                log_likelihood,
-                deviance,
-                iterations: iter,
-                n,
-                p,
-            });
-        }
-    }
-
-    Err(GlmError::NotConverged {
-        iterations: options.max_iterations,
-        last_change,
-    })
+    let mut ws = IrlsWorkspace::new();
+    fit_irls_into(&mut ws, x, y, offset, family, link, options, WarmStart::Cold)?;
+    Ok(ws.to_glm_fit())
 }
 
 #[cfg(test)]

@@ -23,6 +23,9 @@
 //! * [`inference`] — Wald z/p/confidence intervals, model-based and HC1
 //!   sandwich ("pseudolikelihood") covariance, incidence-rate ratios.
 //! * [`summary`] — Table 1-style rendering of a fitted model.
+//! * [`workspace`] — the allocation-free IRLS core: a reusable buffer
+//!   arena ([`IrlsWorkspace`]) plus warm-start continuation, which the
+//!   profile-α loop in [`negbin`] exploits to cut fit time.
 
 pub mod family;
 pub mod inference;
@@ -32,11 +35,13 @@ pub mod negbin;
 pub mod ols;
 pub mod poisson;
 pub mod summary;
+pub mod workspace;
 
 pub use family::{Family, Gaussian, NegBin2, PoissonFamily};
 pub use inference::{joint_wald_test, CoefEstimate, CovarianceKind, FitInference};
 pub use irls::{fit_irls, fit_irls_offset, lr_test, GlmError, GlmFit, IrlsOptions};
 pub use link::{IdentityLink, Link, LogLink, LogitLink};
-pub use negbin::{fit_negbin, NegBinFit, NegBinOptions};
+pub use negbin::{fit_negbin, fit_negbin_with, NegBinFit, NegBinOptions};
 pub use ols::{fit_ols, OlsFit};
-pub use poisson::fit_poisson;
+pub use poisson::{fit_poisson, fit_poisson_with};
+pub use workspace::{fit_irls_into, IrlsWorkspace, WarmStart};

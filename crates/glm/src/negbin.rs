@@ -9,8 +9,9 @@
 
 use crate::family::{NegBin2, PoissonFamily};
 use crate::inference::{wald_inference, CovarianceKind, FitInference};
-use crate::irls::{fit_irls, GlmError, GlmFit, IrlsOptions};
+use crate::irls::{GlmError, GlmFit, IrlsOptions};
 use crate::link::LogLink;
+use crate::workspace::{fit_irls_into, IrlsWorkspace, WarmStart};
 use booters_linalg::Matrix;
 
 /// Options for [`fit_negbin`].
@@ -28,6 +29,12 @@ pub struct NegBinOptions {
     pub level: f64,
     /// Covariance estimator.
     pub covariance: CovarianceKind,
+    /// Seed each profile-α IRLS solve with the previous α's converged β
+    /// (continuation). The optimum is unchanged to well within the IRLS
+    /// tolerance — only the iteration path differs — and any warm solve
+    /// that fails is retried cold. Disable to reproduce the historic
+    /// cold-start trajectory bit for bit.
+    pub warm_start: bool,
 }
 
 impl Default for NegBinOptions {
@@ -39,6 +46,7 @@ impl Default for NegBinOptions {
             alpha_tolerance: 1e-7,
             level: 0.95,
             covariance: CovarianceKind::ModelBased,
+            warm_start: true,
         }
     }
 }
@@ -83,16 +91,38 @@ impl NegBinFit {
     }
 }
 
-/// Profile log-likelihood at a fixed α: max_β ℓ(β, α).
-fn profile_loglik(
+/// Profile log-likelihood at a fixed α: max_β ℓ(β, α), solved into the
+/// workspace. With `warm_start`, IRLS is seeded from `warm` (the previous
+/// profile point's β — continuation) and retried cold on any failure; on
+/// success `warm` is refreshed with the new optimum for the next point.
+fn profile_loglik_into(
+    ws: &mut IrlsWorkspace,
+    warm: &mut [f64],
     x: &Matrix,
     y: &[f64],
     alpha: f64,
-    irls: &IrlsOptions,
-) -> Result<(f64, GlmFit), GlmError> {
+    options: &NegBinOptions,
+) -> Result<f64, GlmError> {
     let family = NegBin2::new(alpha);
-    let fit = fit_irls(x, y, &family, &LogLink, irls)?;
-    Ok((fit.log_likelihood, fit))
+    if options.warm_start {
+        let attempt = fit_irls_into(
+            ws,
+            x,
+            y,
+            None,
+            &family,
+            &LogLink,
+            &options.irls,
+            WarmStart::Beta(warm),
+        );
+        if attempt.is_err() {
+            fit_irls_into(ws, x, y, None, &family, &LogLink, &options.irls, WarmStart::Cold)?;
+        }
+        warm.copy_from_slice(ws.beta());
+    } else {
+        fit_irls_into(ws, x, y, None, &family, &LogLink, &options.irls, WarmStart::Cold)?;
+    }
+    Ok(ws.log_likelihood())
 }
 
 /// Method-of-moments starting α from a Poisson fit:
@@ -108,16 +138,52 @@ fn moment_alpha(y: &[f64], mu: &[f64]) -> f64 {
 }
 
 /// Fit an NB2 regression of `y` on `x` with column `names`.
+///
+/// Convenience wrapper over [`fit_negbin_with`] with a private, throwaway
+/// workspace. Callers fitting many models (the pipeline's per-country and
+/// duration-scan loops) should hold an [`IrlsWorkspace`] and call
+/// [`fit_negbin_with`] to amortise the buffer allocations.
 pub fn fit_negbin(
     x: &Matrix,
     y: &[f64],
     names: &[String],
     options: &NegBinOptions,
 ) -> Result<NegBinFit, GlmError> {
-    // Poisson pre-fit: seeds α and anchors the LR test.
-    let poisson_fit = fit_irls(x, y, &PoissonFamily, &LogLink, &options.irls)?;
-    let alpha0 = moment_alpha(y, &poisson_fit.mu)
-        .clamp(options.alpha_min, options.alpha_max);
+    let mut ws = IrlsWorkspace::new();
+    fit_negbin_with(&mut ws, x, y, names, options)
+}
+
+/// Fit an NB2 regression into a caller-owned workspace.
+///
+/// All per-iteration IRLS buffers live in `ws`, so the entire profile-α
+/// search — typically 40–60 inner IRLS solves — allocates only at the
+/// final [`GlmFit`]/inference materialisation. With
+/// [`NegBinOptions::warm_start`] each profile point seeds IRLS from its
+/// neighbour's β, which cuts inner iterations severalfold; the
+/// golden-section trajectory (the α sequence evaluated) is identical
+/// either way.
+pub fn fit_negbin_with(
+    ws: &mut IrlsWorkspace,
+    x: &Matrix,
+    y: &[f64],
+    names: &[String],
+    options: &NegBinOptions,
+) -> Result<NegBinFit, GlmError> {
+    // Poisson pre-fit: seeds α, anchors the LR test, and (warm path)
+    // provides the first continuation point for β.
+    fit_irls_into(
+        ws,
+        x,
+        y,
+        None,
+        &PoissonFamily,
+        &LogLink,
+        &options.irls,
+        WarmStart::Cold,
+    )?;
+    let poisson_log_likelihood = ws.log_likelihood();
+    let alpha0 = moment_alpha(y, ws.mu()).clamp(options.alpha_min, options.alpha_max);
+    let mut warm = ws.beta().to_vec();
 
     // Golden-section maximisation of the profile log-likelihood in ln α.
     // The profile is unimodal for NB2 (log-concave in ln α in practice).
@@ -130,14 +196,10 @@ pub fn fit_negbin(
     lo = lo.max(centre - 6.0);
     hi = hi.min(centre + 6.0).max(lo + 1.0);
 
-    let eval = |ln_a: f64| -> Result<f64, GlmError> {
-        profile_loglik(x, y, ln_a.exp(), &options.irls).map(|(ll, _)| ll)
-    };
-
     let mut a = hi - phi * (hi - lo);
     let mut b = lo + phi * (hi - lo);
-    let mut fa = eval(a)?;
-    let mut fb = eval(b)?;
+    let mut fa = profile_loglik_into(ws, &mut warm, x, y, a.exp(), options)?;
+    let mut fb = profile_loglik_into(ws, &mut warm, x, y, b.exp(), options)?;
     let mut evals = 2;
     while (hi - lo) > options.alpha_tolerance.max(1e-10) && evals < 200 {
         if fa < fb {
@@ -145,13 +207,13 @@ pub fn fit_negbin(
             a = b;
             fa = fb;
             b = lo + phi * (hi - lo);
-            fb = eval(b)?;
+            fb = profile_loglik_into(ws, &mut warm, x, y, b.exp(), options)?;
         } else {
             hi = b;
             b = a;
             fb = fa;
             a = hi - phi * (hi - lo);
-            fa = eval(a)?;
+            fa = profile_loglik_into(ws, &mut warm, x, y, a.exp(), options)?;
         }
         evals += 1;
         if (hi - lo) < 1e-8 {
@@ -159,7 +221,8 @@ pub fn fit_negbin(
         }
     }
     let alpha = (0.5 * (lo + hi)).exp();
-    let (log_likelihood, fit) = profile_loglik(x, y, alpha, &options.irls)?;
+    let log_likelihood = profile_loglik_into(ws, &mut warm, x, y, alpha, options)?;
+    let fit = ws.to_glm_fit();
     let inference = wald_inference(x, y, &fit, names, options.covariance, options.level)?;
 
     Ok(NegBinFit {
@@ -167,7 +230,7 @@ pub fn fit_negbin(
         alpha,
         inference,
         log_likelihood,
-        poisson_log_likelihood: poisson_fit.log_likelihood,
+        poisson_log_likelihood,
     })
 }
 
@@ -254,6 +317,54 @@ mod tests {
         let nb_se = nb.inference.coef("x").unwrap().std_error;
         let po_se = po.inference.coef("x").unwrap().std_error;
         assert!(nb_se > 1.5 * po_se, "nb={nb_se} po={po_se}");
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start_to_tolerance() {
+        // Continuation changes the IRLS trajectory, not the optimum: the
+        // α sequence evaluated is identical, and each converged β agrees
+        // to well within the deviance tolerance.
+        let (x, y, names) = simulate_nb(400, 2.0, 0.3, 0.5, 55);
+        let warm = fit_negbin(&x, &y, &names, &NegBinOptions::default()).unwrap();
+        let cold = fit_negbin(
+            &x,
+            &y,
+            &names,
+            &NegBinOptions {
+                warm_start: false,
+                ..NegBinOptions::default()
+            },
+        )
+        .unwrap();
+        // α agrees to the golden-section noise floor: near the (flat)
+        // optimum the two trajectories' log-likelihoods differ by IRLS
+        // stopping noise (~1e-10), so bracket comparisons may flip once
+        // the bracket is ~1e-7 wide in ln α. β and ℓ are far tighter.
+        assert!(
+            (warm.alpha - cold.alpha).abs() < 1e-6 * warm.alpha.max(1.0),
+            "alpha warm={} cold={}",
+            warm.alpha,
+            cold.alpha
+        );
+        assert!((warm.log_likelihood - cold.log_likelihood).abs() < 1e-6);
+        for (a, b) in warm.fit.beta.iter().zip(&cold.fit.beta) {
+            assert!((a - b).abs() < 1e-6, "warm {a} cold {b}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_models_matches_fresh_workspace() {
+        let (x1, y1, names1) = simulate_nb(300, 1.8, 0.2, 0.4, 8);
+        let (x2, y2, names2) = simulate_nb(500, 2.2, 0.35, 0.6, 21);
+        let mut ws = IrlsWorkspace::new();
+        let a1 = fit_negbin_with(&mut ws, &x1, &y1, &names1, &NegBinOptions::default()).unwrap();
+        let a2 = fit_negbin_with(&mut ws, &x2, &y2, &names2, &NegBinOptions::default()).unwrap();
+        let b1 = fit_negbin(&x1, &y1, &names1, &NegBinOptions::default()).unwrap();
+        let b2 = fit_negbin(&x2, &y2, &names2, &NegBinOptions::default()).unwrap();
+        assert_eq!(a1.fit.beta, b1.fit.beta);
+        assert_eq!(a1.alpha, b1.alpha);
+        assert_eq!(a2.fit.beta, b2.fit.beta);
+        assert_eq!(a2.alpha, b2.alpha);
     }
 
     #[test]

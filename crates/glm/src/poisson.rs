@@ -7,8 +7,9 @@
 
 use crate::family::PoissonFamily;
 use crate::inference::{wald_inference, CovarianceKind, FitInference};
-use crate::irls::{fit_irls, GlmError, GlmFit, IrlsOptions};
+use crate::irls::{GlmError, GlmFit, IrlsOptions};
 use crate::link::LogLink;
+use crate::workspace::{fit_irls_into, IrlsWorkspace, WarmStart};
 use booters_linalg::Matrix;
 
 /// A fitted Poisson regression.
@@ -37,7 +38,22 @@ pub fn fit_poisson(
     irls: &IrlsOptions,
     level: f64,
 ) -> Result<PoissonFit, GlmError> {
-    let fit = fit_irls(x, y, &PoissonFamily, &LogLink, irls)?;
+    let mut ws = IrlsWorkspace::new();
+    fit_poisson_with(&mut ws, x, y, names, irls, level)
+}
+
+/// Fit a Poisson regression into a caller-owned workspace (see
+/// [`IrlsWorkspace`]); results are bit-identical to [`fit_poisson`].
+pub fn fit_poisson_with(
+    ws: &mut IrlsWorkspace,
+    x: &Matrix,
+    y: &[f64],
+    names: &[String],
+    irls: &IrlsOptions,
+    level: f64,
+) -> Result<PoissonFit, GlmError> {
+    fit_irls_into(ws, x, y, None, &PoissonFamily, &LogLink, irls, WarmStart::Cold)?;
+    let fit = ws.to_glm_fit();
     let inference = wald_inference(x, y, &fit, names, CovarianceKind::ModelBased, level)?;
     Ok(PoissonFit { fit, inference })
 }

@@ -1,0 +1,125 @@
+//! Counting-allocator proof that [`fit_irls_into`] performs zero heap
+//! allocations per fit once the workspace is warm.
+//!
+//! A `#[global_allocator]` wrapper over the system allocator counts every
+//! `alloc`/`alloc_zeroed`/`realloc` call. The test runs one fit to size
+//! the workspace buffers, then asserts that a second fit on the same
+//! shape allocates nothing at all — the contract that makes the
+//! profile-α continuation in `booters-glm::negbin` cheap.
+//!
+//! This lives in its own integration-test binary because a global
+//! allocator is process-wide: any concurrently running test would
+//! pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use booters_glm::irls::IrlsOptions;
+use booters_glm::workspace::{fit_irls_into, IrlsWorkspace, WarmStart};
+use booters_glm::{LogLink, NegBin2, PoissonFamily};
+use booters_linalg::Matrix;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Table-1-shaped deterministic problem: 148 weekly counts on a design
+/// with intercept, trend, annual harmonics, and an intervention dummy.
+fn problem() -> (Matrix, Vec<f64>) {
+    let n = 148;
+    let mut x = Matrix::zeros(n, 5);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i as f64 / n as f64;
+        let theta = 2.0 * std::f64::consts::PI * i as f64 / 52.0;
+        let dummy = if i >= 100 { 1.0 } else { 0.0 };
+        x[(i, 0)] = 1.0;
+        x[(i, 1)] = t;
+        x[(i, 2)] = theta.sin();
+        x[(i, 3)] = theta.cos();
+        x[(i, 4)] = dummy;
+        let eta = 4.0 + 0.4 * t + 0.3 * theta.sin() + 0.2 * theta.cos() - 0.8 * dummy;
+        // Deterministic "noise" so the counts are not an exact GLM fit.
+        let wobble = 1.0 + 0.35 * ((i as f64 * 0.7).sin());
+        y.push((eta.exp() * wobble).round());
+    }
+    (x, y)
+}
+
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOC_CALLS.load(Ordering::SeqCst);
+    f();
+    ALLOC_CALLS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn fit_irls_into_allocates_nothing_after_warmup() {
+    let (x, y) = problem();
+    let opts = IrlsOptions::default();
+    let family = NegBin2::new(0.5);
+    let mut ws = IrlsWorkspace::new();
+
+    // Warm-up fit: sizes every buffer in the workspace.
+    fit_irls_into(&mut ws, &x, &y, None, &family, &LogLink, &opts, WarmStart::Cold).unwrap();
+    let warm_beta: Vec<f64> = ws.beta().to_vec();
+
+    // Cold re-fit on the warm workspace: zero allocations.
+    let cold_allocs = allocations_during(|| {
+        fit_irls_into(&mut ws, &x, &y, None, &family, &LogLink, &opts, WarmStart::Cold).unwrap();
+    });
+    assert_eq!(cold_allocs, 0, "cold re-fit allocated {cold_allocs} times");
+
+    // Warm-started re-fit (the profile-continuation path): also zero.
+    let warm_allocs = allocations_during(|| {
+        fit_irls_into(
+            &mut ws,
+            &x,
+            &y,
+            None,
+            &family,
+            &LogLink,
+            &opts,
+            WarmStart::Beta(&warm_beta),
+        )
+        .unwrap();
+    });
+    assert_eq!(warm_allocs, 0, "warm re-fit allocated {warm_allocs} times");
+
+    // Switching family on the same shape stays allocation-free too.
+    let poisson_allocs = allocations_during(|| {
+        fit_irls_into(&mut ws, &x, &y, None, &PoissonFamily, &LogLink, &opts, WarmStart::Cold)
+            .unwrap();
+    });
+    assert_eq!(poisson_allocs, 0, "family switch allocated {poisson_allocs} times");
+
+    // Sanity: the counter itself works.
+    let v_allocs = allocations_during(|| {
+        let v = vec![0u8; 4096];
+        std::hint::black_box(&v);
+    });
+    assert!(v_allocs >= 1, "counter failed to observe a Vec allocation");
+}

@@ -18,6 +18,51 @@ fn count_problem() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
     })
 }
 
+/// Strategy: a Table-1-shaped NB2 problem — 148 weekly observations on a
+/// design with intercept, linear trend, an annual harmonic pair, and two
+/// intervention dummies, with multiplicative noise on the conditional
+/// mean to induce overdispersion. Mirrors the paper's global model shape
+/// without being collinear (the dummies never sum to the intercept).
+fn table1_problem() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (
+        prop::collection::vec(0.25..4.0f64, 148),
+        -1.0..1.0f64,
+        -1.5..0.5f64,
+    )
+        .prop_map(|(noise, trend, effect)| {
+            let n = 148;
+            let mut x = Matrix::zeros(n, 6);
+            let mut y = Vec::with_capacity(n);
+            for i in 0..n {
+                let t = i as f64 / n as f64;
+                let theta = 2.0 * std::f64::consts::PI * i as f64 / 52.0;
+                let d1 = if (60..66).contains(&i) { 1.0 } else { 0.0 };
+                let d2 = if i >= 120 { 1.0 } else { 0.0 };
+                x[(i, 0)] = 1.0;
+                x[(i, 1)] = t;
+                x[(i, 2)] = theta.sin();
+                x[(i, 3)] = theta.cos();
+                x[(i, 4)] = d1;
+                x[(i, 5)] = d2;
+                let eta = 4.0
+                    + trend * t
+                    + 0.3 * theta.sin()
+                    + 0.2 * theta.cos()
+                    + effect * d1
+                    + 0.5 * effect * d2;
+                y.push((eta.exp() * noise[i]).round());
+            }
+            (x, y)
+        })
+}
+
+fn table1_names() -> Vec<String> {
+    ["_cons", "trend", "sin52", "cos52", "window1", "window2"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
 fn design(xs: &[f64]) -> Matrix {
     let mut m = Matrix::zeros(xs.len(), 2);
     for (i, &x) in xs.iter().enumerate() {
@@ -82,6 +127,46 @@ forall! {
         if let (Ok(a), Ok(b)) = (a, b) {
             prop_assert!((b.beta[1] - a.beta[1]).abs() < 1e-5, "slopes differ");
             prop_assert!((b.beta[0] - a.beta[0] - (k as f64).ln()).abs() < 1e-5);
+        }
+    }
+
+    fn warm_start_negbin_matches_cold_start((x, y) in table1_problem()) {
+        // The warm-started profile search evaluates the identical α
+        // sequence but seeds each inner IRLS from the previous β. The
+        // converged answers are tolerance-equal, not bit-equal: β and the
+        // log-likelihood agree to ~1e-8 (scale-relative), while α carries
+        // the golden-section noise floor (~1e-7 in ln α) — once the
+        // bracket is that narrow, ~1e-10 stopping noise in the profile
+        // log-likelihood can flip a comparison and shift the midpoint.
+        let names = table1_names();
+        let warm = fit_negbin(&x, &y, &names, &NegBinOptions::default());
+        let cold = fit_negbin(
+            &x,
+            &y,
+            &names,
+            &NegBinOptions { warm_start: false, ..NegBinOptions::default() },
+        );
+        if let (Ok(a), Ok(b)) = (warm, cold) {
+            let scale = b.fit.beta.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+            for (j, (wa, co)) in a.fit.beta.iter().zip(&b.fit.beta).enumerate() {
+                prop_assert!(
+                    (wa - co).abs() <= 1e-6 * scale,
+                    "beta[{j}] warm {wa} vs cold {co}"
+                );
+            }
+            let ll_scale = b.log_likelihood.abs().max(1.0);
+            prop_assert!(
+                (a.log_likelihood - b.log_likelihood).abs() <= 1e-8 * ll_scale,
+                "ll warm {} vs cold {}",
+                a.log_likelihood,
+                b.log_likelihood
+            );
+            prop_assert!(
+                (a.alpha - b.alpha).abs() <= 1e-6 * b.alpha.max(1e-3),
+                "alpha warm {} vs cold {}",
+                a.alpha,
+                b.alpha
+            );
         }
     }
 

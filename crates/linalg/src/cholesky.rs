@@ -117,6 +117,133 @@ impl Cholesky {
     }
 }
 
+/// Factor `a = L Lᵀ` into the caller-owned buffer `l` without allocating.
+///
+/// Same algorithm, pivot test, and arithmetic as [`Cholesky::new`] — the
+/// factor is bit-identical — but the output matrix is reused across calls
+/// (the IRLS hot loop re-factors every iteration). The upper triangle of
+/// `l` is zeroed; on error its contents are unspecified.
+pub fn cholesky_into(a: &Matrix, l: &mut Matrix) -> Result<()> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if l.shape() != a.shape() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "cholesky_into",
+            left: a.shape(),
+            right: l.shape(),
+        });
+    }
+    let n = a.rows();
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { at: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+        for j in (i + 1)..n {
+            l[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Solve `A x = b` given a factor produced by [`cholesky_into`], without
+/// allocating: `b` is copied into `x` and the forward/back substitutions
+/// run in place. The substitution arithmetic — and therefore every bit of
+/// `x` — matches [`Cholesky::solve`] (the back pass reads `y[i]` before
+/// overwriting it and `x[k]` for `k > i` after, exactly like the
+/// two-buffer version).
+pub fn cholesky_solve_into(l: &Matrix, b: &[f64], x: &mut [f64]) -> Result<()> {
+    let n = l.rows();
+    if !l.is_square() || b.len() != n || x.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "cholesky_solve_into",
+            left: l.shape(),
+            right: (b.len(), x.len()),
+        });
+    }
+    x.copy_from_slice(b);
+    // Forward: L y = b (x holds y below index i, still b at and above).
+    for i in 0..n {
+        let mut sum = x[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    // Back: Lᵀ x = y (x holds the solution above index i, still y at and
+    // below).
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for k in (i + 1)..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(())
+}
+
+/// Allocation-free [`cholesky_with_ridge`]: factors into `l`, and on a
+/// failed pivot perturbs only the diagonal of `a` in place (originals
+/// saved in `diag_scratch`, restored before returning) instead of cloning
+/// the whole matrix per retry. The lambda schedule and per-try arithmetic
+/// match the cloning version, so the resulting factor is bit-identical.
+/// Returns the ridge used (0.0 when none was needed).
+pub fn cholesky_with_ridge_into(
+    a: &mut Matrix,
+    l: &mut Matrix,
+    diag_scratch: &mut [f64],
+    max_tries: usize,
+) -> Result<f64> {
+    match cholesky_into(a, l) {
+        Ok(()) => return Ok(0.0),
+        Err(e @ (LinalgError::NotSquare { .. } | LinalgError::ShapeMismatch { .. })) => {
+            return Err(e)
+        }
+        Err(_) => {}
+    }
+    let n = a.rows();
+    if diag_scratch.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "cholesky_with_ridge_into",
+            left: (n, n),
+            right: (diag_scratch.len(), 1),
+        });
+    }
+    for i in 0..n {
+        diag_scratch[i] = a[(i, i)];
+    }
+    let scale = a.max_abs().max(1.0);
+    let mut lambda = scale * 1e-10;
+    let mut outcome = Err(LinalgError::NotPositiveDefinite { at: 0 });
+    for _ in 0..max_tries {
+        // a[(i,i)] + lambda from the pristine diagonal: the same value
+        // `clone + add_ridge` produces each try.
+        for i in 0..n {
+            a[(i, i)] = diag_scratch[i] + lambda;
+        }
+        if cholesky_into(a, l).is_ok() {
+            outcome = Ok(lambda);
+            break;
+        }
+        lambda *= 10.0;
+    }
+    for i in 0..n {
+        a[(i, i)] = diag_scratch[i];
+    }
+    outcome
+}
+
 /// Factor `a`, retrying with growing ridge `λI` if it is not numerically SPD.
 ///
 /// IRLS can produce nearly rank-deficient normal matrices mid-iteration
@@ -225,5 +352,61 @@ mod tests {
     fn ridge_not_applied_when_unneeded() {
         let (_, lambda) = cholesky_with_ridge(&spd3(), 12).unwrap();
         assert_eq!(lambda, 0.0);
+    }
+
+    #[test]
+    fn in_place_factor_and_solve_are_bit_identical() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        // Factor into a dirty buffer: both triangles must come out right.
+        let mut l = Matrix::from_rows(&[
+            &[9.0, 9.0, 9.0],
+            &[9.0, 9.0, 9.0],
+            &[9.0, 9.0, 9.0],
+        ]);
+        cholesky_into(&a, &mut l).unwrap();
+        assert_eq!(l.as_slice(), c.factor().as_slice());
+
+        let b = [1.0, -2.0, 0.5];
+        let expected = c.solve(&b).unwrap();
+        let mut x = [f64::NAN; 3];
+        cholesky_solve_into(&l, &b, &mut x).unwrap();
+        assert_eq!(x.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn in_place_ridge_matches_cloning_ridge_and_restores_diagonal() {
+        let a0 = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let (c, lambda) = cholesky_with_ridge(&a0, 12).unwrap();
+        let mut a = a0.clone();
+        let mut l = Matrix::zeros(2, 2);
+        let mut diag = [0.0; 2];
+        let lambda2 = cholesky_with_ridge_into(&mut a, &mut l, &mut diag, 12).unwrap();
+        assert_eq!(lambda2, lambda);
+        assert_eq!(l.as_slice(), c.factor().as_slice());
+        assert_eq!(a.as_slice(), a0.as_slice(), "diagonal not restored");
+
+        // SPD input: no ridge, and `a` untouched.
+        let spd = spd3();
+        let mut a = spd.clone();
+        let mut l = Matrix::zeros(3, 3);
+        let mut diag = [0.0; 3];
+        assert_eq!(
+            cholesky_with_ridge_into(&mut a, &mut l, &mut diag, 12).unwrap(),
+            0.0
+        );
+        assert_eq!(a.as_slice(), spd.as_slice());
+    }
+
+    #[test]
+    fn in_place_variants_reject_bad_shapes() {
+        let a = spd3();
+        let mut l2 = Matrix::zeros(2, 2);
+        assert!(cholesky_into(&a, &mut l2).is_err());
+        let mut l3 = Matrix::zeros(3, 3);
+        cholesky_into(&a, &mut l3).unwrap();
+        let mut x = [0.0; 2];
+        assert!(cholesky_solve_into(&l3, &[1.0, 2.0, 3.0], &mut x).is_err());
+        assert!(cholesky_solve_into(&l3, &[1.0, 2.0], &mut [0.0; 3]).is_err());
     }
 }

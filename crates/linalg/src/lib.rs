@@ -24,7 +24,9 @@ mod lu;
 mod matrix;
 mod qr;
 
-pub use cholesky::{cholesky_with_ridge, Cholesky};
+pub use cholesky::{
+    cholesky_into, cholesky_solve_into, cholesky_with_ridge, cholesky_with_ridge_into, Cholesky,
+};
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;

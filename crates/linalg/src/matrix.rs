@@ -173,6 +173,23 @@ impl Matrix {
         Ok((0..self.rows).map(|i| crate::dot(self.row(i), v)).collect())
     }
 
+    /// [`Matrix::matvec`] into a caller-owned buffer: writes `self * v`
+    /// over `out` without allocating. Arithmetic (and therefore every
+    /// output bit) is identical to the allocating version.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
+        if self.cols != v.len() || self.rows != out.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_into",
+                left: self.shape(),
+                right: (v.len(), out.len()),
+            });
+        }
+        for i in 0..self.rows {
+            out[i] = crate::dot(self.row(i), v);
+        }
+        Ok(())
+    }
+
     /// `Aᵀ v` without materialising the transpose.
     pub fn tr_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if self.rows != v.len() {
@@ -247,6 +264,153 @@ impl Matrix {
             }
         }
         Ok(out)
+    }
+
+    /// [`Matrix::xtwx`] into a caller-owned `p×p` buffer (no allocation).
+    ///
+    /// The accumulation is the same row-outer rank-1 update in the same
+    /// row order with the same zero-weight/zero-entry skips, so every
+    /// entry's f64 summation order — and therefore every output bit — is
+    /// identical to the allocating kernel.
+    pub fn xtwx_into(&self, w: &[f64], out: &mut Matrix) -> Result<()> {
+        if self.rows != w.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "xtwx_into",
+                left: self.shape(),
+                right: (w.len(), 1),
+            });
+        }
+        let p = self.cols;
+        if out.rows != p || out.cols != p {
+            return Err(LinalgError::ShapeMismatch {
+                op: "xtwx_into",
+                left: (p, p),
+                right: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            let wi = w[i];
+            if wi == 0.0 {
+                continue;
+            }
+            for a in 0..p {
+                let ra = r[a] * wi;
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..p {
+                    out[(a, b)] += ra * r[b];
+                }
+            }
+        }
+        for a in 0..p {
+            for b in 0..a {
+                out[(a, b)] = out[(b, a)];
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Matrix::xtwy`] into a caller-owned length-`p` buffer (no
+    /// allocation), named for its IRLS role (`z` is the working
+    /// response). Bit-identical to the allocating kernel.
+    pub fn xtwz_into(&self, w: &[f64], z: &[f64], out: &mut [f64]) -> Result<()> {
+        if self.rows != w.len() || self.rows != z.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "xtwz_into",
+                left: self.shape(),
+                right: (w.len(), z.len()),
+            });
+        }
+        if out.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "xtwz_into",
+                left: (self.cols, 1),
+                right: (out.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            let s = w[i] * z[i];
+            for (o, &a) in out.iter_mut().zip(r) {
+                *o += a * s;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fused IRLS normal-equation kernel: one pass over the design rows
+    /// computing both `XᵀWX` (into `out_xtwx`) and `XᵀWz` (into
+    /// `out_xtwz`) with k-outer rank-1 accumulation and no allocation.
+    ///
+    /// Each output entry is a sum over rows accumulated in row order with
+    /// exactly the per-row arithmetic of [`Matrix::xtwx`] /
+    /// [`Matrix::xtwy`] (including their zero skips), so fusing the
+    /// passes changes which entry is touched *next* but never the
+    /// summation order *within* an entry — results are bit-identical to
+    /// the separate naive kernels (property-tested in `tests/props.rs`).
+    pub fn xtwx_xtwz_into(
+        &self,
+        w: &[f64],
+        z: &[f64],
+        out_xtwx: &mut Matrix,
+        out_xtwz: &mut [f64],
+    ) -> Result<()> {
+        if self.rows != w.len() || self.rows != z.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "xtwx_xtwz_into",
+                left: self.shape(),
+                right: (w.len(), z.len()),
+            });
+        }
+        let p = self.cols;
+        if out_xtwx.rows != p || out_xtwx.cols != p {
+            return Err(LinalgError::ShapeMismatch {
+                op: "xtwx_xtwz_into",
+                left: (p, p),
+                right: out_xtwx.shape(),
+            });
+        }
+        if out_xtwz.len() != p {
+            return Err(LinalgError::ShapeMismatch {
+                op: "xtwx_xtwz_into",
+                left: (p, 1),
+                right: (out_xtwz.len(), 1),
+            });
+        }
+        out_xtwx.data.fill(0.0);
+        out_xtwz.fill(0.0);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            let wi = w[i];
+            // XᵀWz leg: always runs (xtwy has no zero skip).
+            let s = wi * z[i];
+            for (o, &a) in out_xtwz.iter_mut().zip(r) {
+                *o += a * s;
+            }
+            // XᵀWX leg: rank-1 update with xtwx's skip conditions.
+            if wi == 0.0 {
+                continue;
+            }
+            for a in 0..p {
+                let ra = r[a] * wi;
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..p {
+                    out_xtwx[(a, b)] += ra * r[b];
+                }
+            }
+        }
+        for a in 0..p {
+            for b in 0..a {
+                out_xtwx[(a, b)] = out_xtwx[(b, a)];
+            }
+        }
+        Ok(())
     }
 
     /// Scale every element by `s` in place.
@@ -523,5 +687,63 @@ mod tests {
     fn display_renders_rows() {
         let s = format!("{}", m22(1.0, 2.0, 3.0, 4.0));
         assert_eq!(s.lines().count(), 2);
+    }
+
+    /// An awkward little design: zero weights, zero entries, negatives —
+    /// the cases where a careless fused kernel could drift by a bit.
+    fn fused_fixture() -> (Matrix, Vec<f64>, Vec<f64>) {
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.3, -2.0],
+            &[1.0, 0.0, 0.7],
+            &[1.0, -0.1, 1e-7],
+            &[1.0, 5.0, 3.0],
+            &[1.0, 0.2, -0.4],
+        ]);
+        let w = vec![0.5, 0.0, 1.25, 1e-3, 7.0];
+        let z = vec![1.1, -0.2, 0.0, 3.5, -4.0];
+        (x, w, z)
+    }
+
+    #[test]
+    fn into_kernels_are_bit_identical_to_allocating_kernels() {
+        let (x, w, z) = fused_fixture();
+        let naive_xtwx = x.xtwx(&w).unwrap();
+        let naive_xtwz = x.xtwy(&w, &z).unwrap();
+        let naive_mv = x.matvec(&z[..3]).unwrap();
+
+        let mut m = Matrix::zeros(3, 3);
+        let mut v = vec![f64::NAN; 3];
+        x.xtwx_into(&w, &mut m).unwrap();
+        assert_eq!(m.as_slice(), naive_xtwx.as_slice());
+        x.xtwz_into(&w, &z, &mut v).unwrap();
+        assert_eq!(v, naive_xtwz);
+
+        // Fused pass, into dirty buffers.
+        m.data.fill(f64::NAN);
+        v.fill(f64::NAN);
+        x.xtwx_xtwz_into(&w, &z, &mut m, &mut v).unwrap();
+        assert_eq!(m.as_slice(), naive_xtwx.as_slice());
+        assert_eq!(v, naive_xtwz);
+
+        let mut mv = vec![f64::NAN; 5];
+        x.matvec_into(&z[..3], &mut mv).unwrap();
+        assert_eq!(mv, naive_mv);
+    }
+
+    #[test]
+    fn into_kernels_reject_bad_shapes() {
+        let (x, w, z) = fused_fixture();
+        let mut m = Matrix::zeros(3, 3);
+        let mut m2 = Matrix::zeros(2, 3);
+        let mut v = vec![0.0; 3];
+        assert!(x.xtwx_into(&w[..4], &mut m).is_err());
+        assert!(x.xtwx_into(&w, &mut m2).is_err());
+        assert!(x.xtwz_into(&w, &z[..4], &mut v).is_err());
+        assert!(x.xtwz_into(&w, &z, &mut v[..2]).is_err());
+        assert!(x.xtwx_xtwz_into(&w[..4], &z, &mut m, &mut v).is_err());
+        assert!(x.xtwx_xtwz_into(&w, &z, &mut m2, &mut v).is_err());
+        assert!(x.xtwx_xtwz_into(&w, &z, &mut m, &mut v[..2]).is_err());
+        assert!(x.matvec_into(&z, &mut v).is_err());
+        assert!(x.matvec_into(&z[..3], &mut v).is_err());
     }
 }

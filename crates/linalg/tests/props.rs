@@ -10,6 +10,13 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 
+/// Strategy: non-negative IRLS-style weights where roughly a quarter of
+/// the entries are *exactly* zero, exercising the kernels' skip paths.
+fn weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-2.0..6.0f64, n)
+        .prop_map(|v| v.into_iter().map(|w| if w < 0.0 { 0.0 } else { w }).collect())
+}
+
 /// Strategy: a random SPD matrix A = BᵀB + εI.
 fn spd(n: usize) -> impl Strategy<Value = Matrix> {
     matrix(n + 2, n).prop_map(move |b| {
@@ -86,6 +93,42 @@ forall! {
         let xtr = x.tr_matvec(&resid).unwrap();
         let scale = norm2(&y).max(1.0);
         prop_assert!(norm2(&xtr) / scale < 1e-7, "Xᵀr = {xtr:?}");
+    }
+
+    fn into_kernels_bit_identical_to_naive(
+        x in matrix(10, 3),
+        w in weights(10),
+        z in prop::collection::vec(-5.0..5.0f64, 10),
+    ) {
+        // The allocation-free kernels promise *bit identity* with the
+        // allocating ones — same per-entry summation order, same zero
+        // skips — so compare with == rather than a tolerance.
+        let naive_xtwx = x.xtwx(&w).unwrap();
+        let naive_xtwz = x.xtwy(&w, &z).unwrap();
+
+        let mut gm = Matrix::zeros(3, 3);
+        x.xtwx_into(&w, &mut gm).unwrap();
+        prop_assert_eq!(&gm, &naive_xtwx);
+
+        let mut gv = vec![0.0; 3];
+        x.xtwz_into(&w, &z, &mut gv).unwrap();
+        prop_assert_eq!(&gv, &naive_xtwz);
+
+        let mut fm = Matrix::zeros(3, 3);
+        let mut fv = vec![0.0; 3];
+        x.xtwx_xtwz_into(&w, &z, &mut fm, &mut fv).unwrap();
+        prop_assert_eq!(fm, naive_xtwx);
+        prop_assert_eq!(fv, naive_xtwz);
+    }
+
+    fn matvec_into_bit_identical_to_matvec(
+        x in matrix(6, 4),
+        v in prop::collection::vec(-5.0..5.0f64, 4),
+    ) {
+        let naive = x.matvec(&v).unwrap();
+        let mut out = vec![0.0; 6];
+        x.matvec_into(&v, &mut out).unwrap();
+        prop_assert_eq!(out, naive);
     }
 
     fn ridge_rescue_never_panics(a in matrix(4, 4)) {

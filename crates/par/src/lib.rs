@@ -30,6 +30,17 @@
 //! variable (read once per process) → `std::thread::available_parallelism`.
 //! Inside a pool worker it always reports 1, so nested calls fall back to
 //! the sequential path instead of deadlocking or oversubscribing.
+//!
+//! ## Small-work cutoff
+//!
+//! Spawning the pool costs tens of microseconds; a Table 2 fan-out has
+//! eight items. Every `par_*` entry point therefore runs sequentially
+//! when the batch has fewer than [`min_items`] items (default 16),
+//! resolved as: a scoped [`with_min_items`] override → the
+//! `BOOTERS_PAR_MIN_ITEMS` environment variable (read once per process)
+//! → 16. Because the sequential path is already part of the determinism
+//! contract (point 3), the cutoff can never change a result — only when
+//! threads are spawned. Set `BOOTERS_PAR_MIN_ITEMS=1` to disable it.
 
 mod pool;
 mod seed;
@@ -43,10 +54,18 @@ use std::sync::OnceLock;
 thread_local! {
     /// Scoped per-thread override installed by [`with_threads`].
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Scoped per-thread override installed by [`with_min_items`].
+    static MIN_ITEMS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
     /// Set on pool worker threads so nested parallelism degrades to the
     /// sequential path.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
+
+/// Default sequential cutoff: batches smaller than this never spawn the
+/// pool. Chosen so the pipeline's eight-country and six-candidate
+/// fan-outs (whose per-item work is dwarfed by pool spawn cost at small
+/// n) stay sequential while real data-parallel sweeps are unaffected.
+const DEFAULT_MIN_ITEMS: usize = 16;
 
 /// Parse a `BOOTERS_THREADS` value; non-numeric input is ignored and 0 is
 /// clamped to 1 (the sequential path).
@@ -91,6 +110,49 @@ pub(crate) fn enter_pool() {
     IN_POOL.with(|c| c.set(true));
 }
 
+/// Parse a `BOOTERS_PAR_MIN_ITEMS` value; non-numeric input is ignored
+/// and 0 is clamped to 1 (cutoff disabled — every batch may go parallel).
+fn parse_min_items(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// Process-wide configured cutoff: `BOOTERS_PAR_MIN_ITEMS` if set (read
+/// once), otherwise [`DEFAULT_MIN_ITEMS`].
+fn configured_min_items() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        std::env::var("BOOTERS_PAR_MIN_ITEMS")
+            .ok()
+            .and_then(|v| parse_min_items(&v))
+            .unwrap_or(DEFAULT_MIN_ITEMS)
+    })
+}
+
+/// Batches with fewer items than this run sequentially on the calling
+/// thread (same results by the determinism contract, no pool spawn).
+pub fn min_items() -> usize {
+    MIN_ITEMS_OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or_else(configured_min_items)
+}
+
+/// Run `f` with the small-work cutoff pinned to `n` items on this thread
+/// (clamped to ≥ 1; 1 disables the cutoff), restoring the previous
+/// setting afterwards — also on panic. Tests and benches use this to
+/// force the pool on for small batches without touching the process
+/// environment.
+pub fn with_min_items<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MIN_ITEMS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = MIN_ITEMS_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
 /// Run `f` with the executor pinned to `n` threads on this thread
 /// (clamped to ≥ 1), restoring the previous setting afterwards — also on
 /// panic. This is how the invariance tests and benches sweep thread
@@ -133,6 +195,38 @@ mod tests {
             assert_eq!(with_threads(2, threads), 2);
             assert_eq!(threads(), 5);
         });
+    }
+
+    #[test]
+    fn parse_min_items_clamps_and_rejects() {
+        assert_eq!(parse_min_items("16"), Some(16));
+        assert_eq!(parse_min_items(" 1 "), Some(1));
+        assert_eq!(parse_min_items("0"), Some(1));
+        assert_eq!(parse_min_items("lots"), None);
+        assert_eq!(parse_min_items(""), None);
+    }
+
+    #[test]
+    fn with_min_items_overrides_and_restores() {
+        let outer = min_items();
+        assert_eq!(with_min_items(3, min_items), 3);
+        assert_eq!(min_items(), outer);
+        // Clamped to at least one (1 = cutoff disabled).
+        assert_eq!(with_min_items(0, min_items), 1);
+        with_min_items(32, || {
+            assert_eq!(with_min_items(2, min_items), 2);
+            assert_eq!(min_items(), 32);
+        });
+    }
+
+    #[test]
+    fn with_min_items_restores_on_panic() {
+        let before = min_items();
+        let caught = std::panic::catch_unwind(|| {
+            with_min_items(9, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(min_items(), before);
     }
 
     #[test]

@@ -40,9 +40,10 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     let workers = crate::threads().min(items.len());
-    if workers <= 1 {
+    if workers <= 1 || items.len() < crate::min_items() {
         // Sequential fallback: the exact code path the pre-executor
-        // callers ran.
+        // callers ran. Small batches take it too (see the small-work
+        // cutoff in the crate docs) — same results, no pool spawn.
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
     run_on_pool(items, workers, &f)
@@ -74,7 +75,7 @@ where
     F: Fn(&T) -> Result<U, E> + Sync,
 {
     let workers = crate::threads().min(items.len());
-    if workers <= 1 {
+    if workers <= 1 || items.len() < crate::min_items() {
         return items.iter().map(f).collect();
     }
     run_on_pool(items, workers, &|_, x| f(x)).into_iter().collect()
@@ -168,6 +169,34 @@ mod tests {
         for t in [1usize, 2, 3, 4, 8] {
             let got = crate::with_threads(t, || par_map(&items, |x| x * x + 1));
             assert_eq!(got, expected, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn small_batches_stay_on_the_calling_thread() {
+        // Below the cutoff no pool is spawned even with threads available:
+        // the closure observes the calling thread, not a pool worker.
+        let items: Vec<u32> = (0..8).collect();
+        let on_pool = crate::with_threads(4, || {
+            crate::with_min_items(16, || par_map(&items, |_| crate::in_pool()))
+        });
+        assert!(on_pool.iter().all(|&p| !p));
+        // min_items = 1 disables the cutoff and forces the pool on.
+        let on_pool = crate::with_threads(4, || {
+            crate::with_min_items(1, || par_map(&items, |_| crate::in_pool()))
+        });
+        assert!(on_pool.iter().all(|&p| p));
+    }
+
+    #[test]
+    fn cutoff_does_not_change_results() {
+        let items: Vec<u64> = (0..15).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for min in [1usize, 4, 16, 64] {
+            let got = crate::with_threads(4, || {
+                crate::with_min_items(min, || par_map(&items, |x| x * 3 + 1))
+            });
+            assert_eq!(got, expected, "min_items={min}");
         }
     }
 

@@ -4,7 +4,8 @@
 //! the nested-call sequential fallback.
 
 use booters_par::{
-    par_for_each, par_map, par_map_collect, par_map_indexed, stream_seed, threads, with_threads,
+    par_for_each, par_map, par_map_collect, par_map_indexed, stream_seed, threads, with_min_items,
+    with_threads,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -105,16 +106,20 @@ fn panic_does_not_hang_remaining_workers() {
 
 #[test]
 fn nested_par_map_falls_back_to_sequential() {
+    // with_min_items(1) defeats the small-work cutoff so the 8-item outer
+    // map really lands on pool workers (where the fallback applies).
     let outer: Vec<u32> = (0..8).collect();
     let inner_threads = with_threads(4, || {
-        par_map(&outer, |_| {
+        with_min_items(1, || {
+            par_map(&outer, |_| {
             // Inside a worker the executor must report a single thread and
             // run nested maps inline — this completing at all proves no
             // deadlock, and the reported count proves the fallback.
-            let inner: Vec<u32> = (0..8).collect();
-            let nested = par_map(&inner, |&y| y * 2);
-            assert_eq!(nested, inner.iter().map(|y| y * 2).collect::<Vec<_>>());
-            threads()
+                let inner: Vec<u32> = (0..8).collect();
+                let nested = par_map(&inner, |&y| y * 2);
+                assert_eq!(nested, inner.iter().map(|y| y * 2).collect::<Vec<_>>());
+                threads()
+            })
         })
     });
     assert!(

@@ -40,6 +40,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Default in-memory budget when `BOOTERS_STORE_BUDGET` is unset: 256 MiB.
 pub const DEFAULT_BUDGET_BYTES: usize = 256 << 20;
 
+/// Default per-run read-batch size during the k-way merge: 256 KiB. One
+/// seek + one large read replaces a seek per ~1500-packet chunk, which is
+/// most of the gap between the out-of-core and in-memory grouping paths.
+pub const DEFAULT_MERGE_READ_BYTES: usize = 256 << 10;
+
 /// Smallest accepted budget — enough for a few dozen packets, so the
 /// grouper always makes progress.
 pub const MIN_BUDGET_BYTES: usize = 1024;
@@ -83,6 +88,11 @@ pub struct SpillConfig {
     pub dir: Option<PathBuf>,
     /// Packets per chunk in run files.
     pub chunk_capacity: usize,
+    /// Bytes of raw run data each merge cursor reads per batch (whole
+    /// chunks; a single chunk is read alone even when it exceeds this).
+    /// Larger values trade memory — two batches per run are resident —
+    /// for fewer, larger reads.
+    pub merge_read_bytes: usize,
 }
 
 impl Default for SpillConfig {
@@ -94,6 +104,7 @@ impl Default for SpillConfig {
             key: VictimKey::ByIp,
             dir: None,
             chunk_capacity: DEFAULT_CHUNK_CAPACITY,
+            merge_read_bytes: DEFAULT_MERGE_READ_BYTES,
         }
     }
 }
@@ -291,7 +302,7 @@ impl SpillGrouper {
             grouper.finish()
         } else {
             self.spill()?; // final partial run
-            merge_runs(&self.runs.files, key)?
+            merge_runs(&self.runs.files, key, self.config.merge_read_bytes as u64)?
         };
         booters_netsim::sort_flows(&mut flows);
         self.runs.cleanup();
@@ -355,12 +366,38 @@ impl KeyedGrouper {
     }
 }
 
+/// A contiguous batch of raw chunk bytes from one run file, covering
+/// chunks `first..end`; chunk `j`'s record starts at `extent_j.0 − base`.
+struct RawBatch {
+    bytes: Vec<u8>,
+    base: u64,
+    first: usize,
+    end: usize,
+}
+
+impl RawBatch {
+    fn covers(&self, chunk: usize) -> bool {
+        (self.first..self.end).contains(&chunk)
+    }
+}
+
 /// One run's read position during the merge.
+///
+/// Reads are double-buffered: `batch` holds the raw bytes the cursor is
+/// currently decoding from, `ahead` the prefetched next batch. When the
+/// cursor crosses a batch boundary it promotes `ahead` and immediately
+/// issues the following read, so each run does one large sequential read
+/// per `merge_read_bytes` of data instead of a seek per chunk — and the
+/// two reads per promotion happen back-to-back at adjacent offsets
+/// rather than interleaved with the other runs' chunk reads.
 struct RunCursor {
     reader: ChunkReader,
     chunk: Vec<SensorPacket>,
     pos: usize,
     next_chunk: usize,
+    batch: Option<RawBatch>,
+    ahead: Option<RawBatch>,
+    read_bytes: u64,
 }
 
 impl RunCursor {
@@ -368,12 +405,40 @@ impl RunCursor {
         self.chunk.get(self.pos)
     }
 
+    fn read_batch(&mut self, first: usize) -> Result<RawBatch, StoreError> {
+        let (bytes, base, end) = self.reader.raw_chunk_batch(first, self.read_bytes)?;
+        Ok(RawBatch { bytes, base, first, end })
+    }
+
+    /// Decode chunk `next_chunk` out of the batched raw bytes, promoting
+    /// or reading batches as needed.
+    fn refill(&mut self) -> Result<(), StoreError> {
+        if !self.batch.as_ref().is_some_and(|b| b.covers(self.next_chunk)) {
+            let promoted = self.ahead.take().filter(|b| b.covers(self.next_chunk));
+            self.batch = Some(match promoted {
+                Some(b) => b,
+                None => self.read_batch(self.next_chunk)?,
+            });
+            let end = self.batch.as_ref().expect("just set").end;
+            self.ahead = if end < self.reader.chunk_count() {
+                Some(self.read_batch(end)?)
+            } else {
+                None
+            };
+        }
+        let (off, len) = self.reader.chunk_extent(self.next_chunk)?;
+        let b = self.batch.as_ref().expect("batch covers next_chunk");
+        let slice = &b.bytes[(off - b.base) as usize..][..len as usize];
+        self.chunk = crate::chunk::decode_chunk(slice)?;
+        self.next_chunk += 1;
+        self.pos = 0;
+        Ok(())
+    }
+
     fn advance(&mut self) -> Result<(), StoreError> {
         self.pos += 1;
         while self.pos >= self.chunk.len() && self.next_chunk < self.reader.chunk_count() {
-            self.chunk = self.reader.read_chunk(self.next_chunk)?;
-            self.next_chunk += 1;
-            self.pos = 0;
+            self.refill()?;
         }
         Ok(())
     }
@@ -383,11 +448,16 @@ impl RunCursor {
 ///
 /// The first chunk of every run is decoded in one `booters-par` fan-out
 /// (submission-order results); subsequent chunks are decoded on demand
-/// as each cursor drains. Heap ties between runs carrying equal packets
-/// are broken by run index — with the sort key unique per packet value,
-/// equal keys mean equal packets, so even the tie-break cannot affect
-/// the grouped output.
-fn merge_runs(run_files: &[PathBuf], key: VictimKey) -> Result<Vec<Flow>, StoreError> {
+/// as each cursor drains, from double-buffered `read_bytes`-sized batch
+/// reads (see [`RunCursor`]). Heap ties between runs carrying equal
+/// packets are broken by run index — with the sort key unique per packet
+/// value, equal keys mean equal packets, so even the tie-break cannot
+/// affect the grouped output.
+fn merge_runs(
+    run_files: &[PathBuf],
+    key: VictimKey,
+    read_bytes: u64,
+) -> Result<Vec<Flow>, StoreError> {
     let mut readers: Vec<ChunkReader> = run_files
         .iter()
         .map(ChunkReader::open)
@@ -416,6 +486,9 @@ fn merge_runs(run_files: &[PathBuf], key: VictimKey) -> Result<Vec<Flow>, StoreE
             chunk: chunk?,
             pos: 0,
             next_chunk: 1,
+            batch: None,
+            ahead: None,
+            read_bytes,
         });
     }
 
@@ -513,6 +586,9 @@ mod tests {
             key: VictimKey::ByIp,
             dir: None,
             chunk_capacity: 16,
+            // Tiny batches so the double-buffer promotion path runs many
+            // times per merge in these tests.
+            merge_read_bytes: 256,
         }
     }
 
@@ -543,6 +619,23 @@ mod tests {
                 });
                 assert_eq!(flows, baseline, "budget={budget} threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn output_is_invariant_across_merge_read_sizes() {
+        // merge_read_bytes only changes I/O batching, never the merged
+        // stream: 1 byte forces one-chunk batches (the old per-chunk
+        // behaviour), the default covers whole runs in one read.
+        let trace = mixed_trace();
+        let baseline = group_out_of_core(&trace, tiny_config(MIN_BUDGET_BYTES))
+            .unwrap()
+            .flows;
+        for read in [1usize, 64, 4096, DEFAULT_MERGE_READ_BYTES] {
+            let mut cfg = tiny_config(MIN_BUDGET_BYTES);
+            cfg.merge_read_bytes = read;
+            let flows = group_out_of_core(&trace, cfg).unwrap().flows;
+            assert_eq!(flows, baseline, "merge_read_bytes={read}");
         }
     }
 

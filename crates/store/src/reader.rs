@@ -143,10 +143,10 @@ impl ChunkReader {
         &self.index
     }
 
-    /// Read one chunk's raw bytes (I/O only; pair with
-    /// [`decode_chunk`] to fan the CPU work out over `booters-par`).
-    pub fn raw_chunk(&mut self, i: usize) -> Result<Vec<u8>, StoreError> {
-        let info = *self
+    /// Byte extent `(offset, len)` of chunk `i` within the file (footer
+    /// metadata only, no I/O).
+    pub fn chunk_extent(&self, i: usize) -> Result<(u64, u64), StoreError> {
+        let info = self
             .index
             .get(i)
             .ok_or_else(|| StoreError::corrupt(format!("chunk {i} out of range")))?;
@@ -158,10 +158,49 @@ impl ChunkReader {
         let len = end
             .checked_sub(info.offset)
             .ok_or_else(|| StoreError::corrupt("negative chunk extent"))?;
+        Ok((info.offset, len))
+    }
+
+    /// Read one chunk's raw bytes (I/O only; pair with
+    /// [`decode_chunk`] to fan the CPU work out over `booters-par`).
+    pub fn raw_chunk(&mut self, i: usize) -> Result<Vec<u8>, StoreError> {
+        let (offset, len) = self.chunk_extent(i)?;
         let mut bytes = vec![0u8; len as usize];
-        self.file.seek(SeekFrom::Start(info.offset))?;
+        self.file.seek(SeekFrom::Start(offset))?;
         self.file.read_exact(&mut bytes)?;
         Ok(bytes)
+    }
+
+    /// Read the raw bytes of as many whole, contiguous chunks starting at
+    /// `first` as fit in `max_bytes` — always at least one, so a single
+    /// oversized chunk still batches alone. One `seek` + one large
+    /// `read_exact` replaces per-chunk round trips; the spill-merge run
+    /// cursors use this to amortise I/O across chunk boundaries.
+    ///
+    /// Returns `(bytes, base_offset, end_chunk)`: `bytes` covers chunks
+    /// `first..end_chunk` and chunk `j`'s record is
+    /// `bytes[extent_j.0 - base_offset ..][.. extent_j.1]`.
+    pub fn raw_chunk_batch(
+        &mut self,
+        first: usize,
+        max_bytes: u64,
+    ) -> Result<(Vec<u8>, u64, usize), StoreError> {
+        let (base, first_len) = self.chunk_extent(first)?;
+        let mut end_offset = base + first_len;
+        let mut end_chunk = first + 1;
+        while end_chunk < self.index.len() {
+            let (off, len) = self.chunk_extent(end_chunk)?;
+            debug_assert_eq!(off, end_offset, "chunks are contiguous");
+            if off + len - base > max_bytes {
+                break;
+            }
+            end_offset = off + len;
+            end_chunk += 1;
+        }
+        let mut bytes = vec![0u8; (end_offset - base) as usize];
+        self.file.seek(SeekFrom::Start(base))?;
+        self.file.read_exact(&mut bytes)?;
+        Ok((bytes, base, end_chunk))
     }
 
     /// Read and decode one chunk.
@@ -259,6 +298,41 @@ mod tests {
             });
             assert_eq!(got, baseline, "threads={t}");
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn raw_chunk_batch_covers_whole_chunks_and_matches_per_chunk_reads() {
+        let packets: Vec<SensorPacket> = (0..600u64).map(|i| pkt(i * 2, (i % 30) as u32)).collect();
+        let path = write_store("reader_batch", &packets, 64);
+        let mut r = ChunkReader::open(&path).unwrap();
+        let n = r.chunk_count();
+        // Budget 0 still yields exactly one chunk per batch.
+        let (bytes, base, end) = r.raw_chunk_batch(0, 0).unwrap();
+        assert_eq!(end, 1);
+        assert_eq!(bytes, r.raw_chunk(0).unwrap());
+        assert_eq!(base, r.chunk_extent(0).unwrap().0);
+        // A huge budget grabs every remaining chunk in one read.
+        let (bytes, base, end) = r.raw_chunk_batch(0, u64::MAX).unwrap();
+        assert_eq!(end, n);
+        for i in 0..n {
+            let (off, len) = r.chunk_extent(i).unwrap();
+            let slice = &bytes[(off - base) as usize..][..len as usize];
+            assert_eq!(slice, r.raw_chunk(i).unwrap(), "chunk {i}");
+            assert_eq!(decode_chunk(slice).unwrap(), r.read_chunk(i).unwrap());
+        }
+        // Walking batch-by-batch at a mid-size budget visits every chunk
+        // exactly once, in order.
+        let (_, first_len) = r.chunk_extent(0).unwrap();
+        let mut cursor = 0usize;
+        let mut visited = 0usize;
+        while cursor < n {
+            let (_, _, end) = r.raw_chunk_batch(cursor, 3 * first_len).unwrap();
+            assert!(end > cursor);
+            visited += end - cursor;
+            cursor = end;
+        }
+        assert_eq!(visited, n);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -32,4 +32,13 @@ BOOTERS_THREADS=4 cargo test -q --workspace --offline
 echo "==> cargo test (offline, BOOTERS_STORE_BUDGET=65536)"
 BOOTERS_STORE_BUDGET=65536 cargo test -q --workspace --offline
 
+# Fourth pass: BOOTERS_PAR_MIN_ITEMS=1 disables the small-work sequential
+# cutoff, so even tiny fan-outs (eight Table-2 countries, short window
+# scans) go through the worker pool. Combined with BOOTERS_THREADS=4 this
+# runs the seeded golden suite on the pool branch that the cutoff would
+# normally skip — the goldens must stay byte-identical either way.
+echo "==> seeded goldens (offline, BOOTERS_PAR_MIN_ITEMS=1, BOOTERS_THREADS=4)"
+BOOTERS_PAR_MIN_ITEMS=1 BOOTERS_THREADS=4 \
+    cargo test -q --offline --test smoke_seeded --test par_invariance
+
 echo "==> verify: OK"

@@ -98,6 +98,35 @@ fn golden_reports_are_byte_identical_at_four_threads() {
 }
 
 #[test]
+fn warm_and_cold_fit_paths_render_identical_reports() {
+    // The profile-α continuation warm-starts each inner IRLS from the
+    // previous β. Converged estimates are tolerance-equal to the
+    // cold-start path (DESIGN.md §5d), which is far tighter than the
+    // tables' rounding — so Table 1 and Table 2 must render byte for
+    // byte the same whether warm starts are on (default) or off.
+    let cal = Calibration::default();
+    let warm_cfg = PipelineConfig::default();
+    let mut cold_cfg = PipelineConfig::default();
+    cold_cfg.negbin.warm_start = false;
+    let render = |cfg: &PipelineConfig| {
+        let s = run(SMOKE_SEED);
+        let t1 = table1(&fit_global(&s.honeypot, &cal, cfg).unwrap());
+        let t2 = table2(&s.honeypot, &cal, cfg).unwrap();
+        (t1, t2)
+    };
+    let (warm1, warm2) = render(&warm_cfg);
+    let (cold1, cold2) = render(&cold_cfg);
+    assert!(
+        warm1 == cold1,
+        "Table 1 differs across fit paths:\n--- warm ---\n{warm1}\n--- cold ---\n{cold1}"
+    );
+    assert!(
+        warm2 == cold2,
+        "Table 2 differs across fit paths:\n--- warm ---\n{warm2}\n--- cold ---\n{cold2}"
+    );
+}
+
+#[test]
 fn different_seeds_give_different_data() {
     // Sanity check on the reproducibility claim: the determinism comes
     // from the seed, not from the pipeline ignoring the data.
