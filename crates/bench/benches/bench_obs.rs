@@ -1,0 +1,89 @@
+//! Observability-overhead benchmarks: the same workloads run with the
+//! `booters-obs` registry disabled and enabled, so `BENCH_obs.json`
+//! records both what instrumentation costs when it is on and — the
+//! number that actually matters — that the disabled path (one relaxed
+//! atomic load per call site) stays within noise of the uninstrumented
+//! baselines recorded in earlier `BENCH_*.json` entries.
+
+use booters_bench::repro_config;
+use booters_core::scenario::Scenario;
+use booters_glm::negbin::{fit_negbin, NegBinOptions};
+use booters_linalg::Matrix;
+use booters_stats::dist::NegativeBinomial;
+use booters_testkit::bench::Criterion;
+use booters_testkit::rngs::StdRng;
+use booters_testkit::SeedableRng;
+use booters_testkit::{bench_group, bench_main};
+use booters_timeseries::design::{its_design, DesignConfig};
+use booters_timeseries::{Date, InterventionWindow, WeeklySeries};
+use std::hint::black_box;
+
+const BENCH_SCALE: f64 = 0.02;
+
+/// Paper-shaped NB2 problem (148 weeks, intervention + seasonal design),
+/// mirroring `bench_glm`'s workload so the two files are comparable.
+fn paper_problem() -> (Matrix, Vec<f64>, Vec<String>) {
+    let series = WeeklySeries::covering(Date::new(2016, 6, 6), Date::new(2019, 4, 1));
+    let windows = vec![
+        InterventionWindow::immediate("xmas", Date::new(2018, 12, 19), 10),
+        InterventionWindow::delayed("webstresser", Date::new(2018, 4, 24), 2, 3),
+        InterventionWindow::immediate("mirai", Date::new(2018, 10, 26), 8),
+        InterventionWindow::immediate("hackforums", Date::new(2016, 10, 28), 13),
+        InterventionWindow::immediate("vdos", Date::new(2017, 12, 19), 3),
+    ];
+    let design = its_design(&series, &windows, &DesignConfig::default());
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut y = vec![0.0; series.len()];
+    for i in 0..series.len() {
+        let t = i as f64;
+        let mu = (10.0 + 0.01 * t).exp();
+        y[i] = NegativeBinomial::new(mu, 0.01).sample(&mut rng) as f64;
+    }
+    (design.x, y, design.names)
+}
+
+fn bench_negbin_overhead(c: &mut Criterion) {
+    let (x, y, names) = paper_problem();
+    let mut group = c.benchmark_group("obs_negbin_fit");
+    group.sample_size(20);
+    group.bench_function("obs_off", |b| {
+        booters_obs::set_enabled(false);
+        b.iter(|| {
+            let fit = fit_negbin(&x, &y, &names, &NegBinOptions::default()).unwrap();
+            black_box(fit.alpha)
+        })
+    });
+    group.bench_function("obs_on", |b| {
+        booters_obs::set_enabled(true);
+        b.iter(|| {
+            let fit = fit_negbin(&x, &y, &names, &NegBinOptions::default()).unwrap();
+            black_box(fit.alpha)
+        })
+    });
+    booters_obs::set_enabled(false);
+    booters_obs::reset();
+    group.finish();
+}
+
+fn bench_pipeline_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_simulate");
+    group.sample_size(5);
+    group.bench_function("obs_off", |b| {
+        booters_obs::set_enabled(false);
+        b.iter(|| black_box(Scenario::run(repro_config(BENCH_SCALE)).honeypot.global.len()))
+    });
+    group.bench_function("obs_on", |b| {
+        booters_obs::set_enabled(true);
+        b.iter(|| black_box(Scenario::run(repro_config(BENCH_SCALE)).honeypot.global.len()))
+    });
+    booters_obs::set_enabled(false);
+    booters_obs::reset();
+    group.finish();
+}
+
+bench_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_negbin_overhead, bench_pipeline_overhead
+}
+bench_main!(benches);

@@ -1,0 +1,245 @@
+//! Regenerate every table/figure from one instrumented run and render
+//! the self-contained `out/report.html` + `out/report.md` pair.
+//!
+//! Usage: `cargo run --release -p booters-core --bin repro_report [scale]`
+//!
+//! The binary force-enables the `booters-obs` registry (metrics never
+//! alter results — the `obs_golden` integration test pins that), runs
+//! the standard repro scenario, fits the §4 models, renders every
+//! artifact in memory, and folds the recorded span timings and metric
+//! totals into the report alongside any `BENCH_*.json` trajectory files
+//! found at the workspace root.
+
+use booters_core::ablation::{kopp_style_short_window, poisson_vs_negbin};
+use booters_core::detect::{detect_interventions, match_events, DetectOptions};
+use booters_core::pipeline::{fit_global, PipelineConfig};
+use booters_core::report::{
+    country_model_detail, fig1_csv, fig2_csv, fig3_csv, fig4_table, fig5_csv, fig6_csv,
+    fig7_csv, fig8_csv, table1, table2, table3,
+};
+use booters_core::runreport::{
+    parse_bench_lines, Artifact, BenchRecord, ReportInput, RunManifest,
+};
+use booters_core::scenario::{Fidelity, Scenario, ScenarioConfig};
+use booters_core::verify::{cross_dataset_correlation, render_validation, validate_top_booters};
+use booters_market::calibration::Calibration;
+use booters_market::market::MarketConfig;
+use booters_timeseries::Date;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Same seed as `booters-bench::REPRO_SEED` so the report describes the
+/// same simulated world as the `repro_*` artifact binaries.
+const REPRO_SEED: u64 = 0xB00735;
+const DEFAULT_SCALE: f64 = 0.25;
+
+/// Environment knobs surfaced in the manifest.
+const ENV_KNOBS: [&str; 4] = [
+    "BOOTERS_THREADS",
+    "BOOTERS_STORE_BUDGET",
+    "BOOTERS_PAR_MIN_ITEMS",
+    "BOOTERS_OBS",
+];
+
+/// Workspace crates listed in the manifest (one shared version).
+const CRATES: [&str; 12] = [
+    "booters-linalg",
+    "booters-stats",
+    "booters-timeseries",
+    "booters-glm",
+    "booters-netsim",
+    "booters-market",
+    "booters-core",
+    "booters-par",
+    "booters-store",
+    "booters-obs",
+    "booters-testkit",
+    "booters-bench",
+];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read_bench_trajectory(root: &PathBuf) -> Vec<BenchRecord> {
+    let mut files: Vec<String> = std::fs::read_dir(root)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    let mut out = Vec::new();
+    for name in files {
+        if let Ok(text) = std::fs::read_to_string(root.join(&name)) {
+            out.extend(parse_bench_lines(&name, &text));
+        }
+    }
+    out
+}
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_SCALE);
+    booters_obs::set_enabled(true);
+    booters_obs::reset();
+    let started = Instant::now();
+
+    eprintln!("simulating July 2014 - April 2019 at scale {scale} ...");
+    let scenario = Scenario::run(ScenarioConfig {
+        market: MarketConfig {
+            calibration: Calibration::default(),
+            scale,
+            seed: REPRO_SEED,
+            ..MarketConfig::default()
+        },
+        fidelity: Fidelity::Aggregate,
+        ..ScenarioConfig::default()
+    });
+    let cal = Calibration::default();
+    let cfg = PipelineConfig::default();
+    let ds = &scenario.honeypot;
+    let sr = &scenario.selfreport;
+
+    let fit = fit_global(ds, &cal, &cfg).expect("global model");
+
+    let mut artifacts = Vec::new();
+    {
+        booters_obs::span!("report");
+        let mut push = |name: &str, caption: &str, body: String| {
+            artifacts.push(Artifact {
+                name: name.to_string(),
+                caption: caption.to_string(),
+                body,
+            })
+        };
+        push("table1.txt", "global NB2 intervention model", table1(&fit));
+        push(
+            "table2.txt",
+            "per-country intervention models",
+            table2(ds, &cal, &cfg).expect("table 2"),
+        );
+        push("table3.txt", "protocol mix", table3(ds));
+        push("fig1_timeline.csv", "weekly attacks, global", fig1_csv(ds));
+        push("fig2_model_fit.csv", "observed vs fitted", fig2_csv(&fit));
+        push("fig3_by_country.csv", "weekly attacks by country", fig3_csv(ds));
+        push(
+            "fig4_correlation.txt",
+            "country cross-correlation",
+            fig4_table(ds, Date::new(2016, 6, 6), Date::new(2019, 4, 1)).render(),
+        );
+        let (f5, _slopes) = fig5_csv(ds);
+        push("fig5_us_uk_index.csv", "US/UK indexed attack rates", f5);
+        push("fig6_by_protocol.csv", "weekly attacks by protocol", fig6_csv(ds));
+        let n_weeks =
+            ((Date::new(2019, 4, 1).week_start().days_since(sr.start)) / 7) as usize;
+        push("fig7_selfreport.csv", "self-reported attacks", fig7_csv(sr, n_weeks));
+        push("fig8_lifecycle.csv", "booter lifecycle", fig8_csv(sr));
+
+        let validations = validate_top_booters(sr, 10);
+        let corr = cross_dataset_correlation(ds, sr);
+        push(
+            "validation.txt",
+            "self-report validation suite",
+            render_validation(&validations, corr),
+        );
+
+        let series = ds
+            .global
+            .window(Date::new(2016, 6, 6), Date::new(2019, 4, 1))
+            .expect("window");
+        let mut found =
+            detect_interventions(&series, &cfg, &DetectOptions::default()).expect("detection");
+        match_events(&mut found, 3);
+        push(
+            "detection.txt",
+            "automated intervention discovery",
+            found
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{} {}wk coef {:+.3} -> {}\n",
+                        d.start,
+                        d.duration_weeks,
+                        d.coef,
+                        d.matched_event.as_deref().unwrap_or("(unmatched)")
+                    )
+                })
+                .collect(),
+        );
+
+        let short = kopp_style_short_window(ds, &cal, &cfg).expect("ablation");
+        let disp = poisson_vs_negbin(ds, &cal, &cfg).expect("ablation");
+        push(
+            "ablation.txt",
+            "modelling ablations",
+            format!(
+                "kopp short window: {:.1}% vs full {:.1}%\npoisson SE {:.4} vs NB SE {:.4}, alpha {:.4}\n",
+                short.short_window_pct,
+                short.full_model_pct,
+                disp.poisson_se,
+                disp.negbin_se,
+                disp.alpha
+            ),
+        );
+
+        let mut countries = String::new();
+        for c in Calibration::table2_countries() {
+            countries
+                .push_str(&country_model_detail(ds, &cal, c, &cfg).expect("country model"));
+            countries.push('\n');
+        }
+        push("country_models.txt", "per-country model detail", countries);
+    }
+
+    let root = workspace_root();
+    let bench = read_bench_trajectory(&root);
+    let env = ENV_KNOBS
+        .iter()
+        .map(|k| {
+            (
+                k.to_string(),
+                std::env::var(k).unwrap_or_else(|_| "(default)".to_string()),
+            )
+        })
+        .collect();
+    let crates = CRATES
+        .iter()
+        .map(|n| (n.to_string(), env!("CARGO_PKG_VERSION").to_string()))
+        .collect();
+
+    let input = ReportInput {
+        manifest: RunManifest {
+            seed: REPRO_SEED,
+            scale,
+            env,
+            crates,
+            wall_ns: started.elapsed().as_nanos() as u64,
+        },
+        snapshot: booters_obs::snapshot(),
+        artifacts,
+        bench,
+    };
+
+    let out_dir = root.join("out");
+    std::fs::create_dir_all(&out_dir).expect("create out/");
+    let html_path = out_dir.join("report.html");
+    let md_path = out_dir.join("report.md");
+    std::fs::write(&html_path, booters_core::runreport::render_html(&input))
+        .expect("write report.html");
+    std::fs::write(&md_path, booters_core::runreport::render_markdown(&input))
+        .expect("write report.md");
+    eprintln!("wrote {}", html_path.display());
+    eprintln!("wrote {}", md_path.display());
+    println!(
+        "report: {} artifacts, {} bench records, {} spans, {} counters",
+        input.artifacts.len(),
+        input.bench.len(),
+        input.snapshot.spans.len(),
+        input.snapshot.counters.len()
+    );
+}

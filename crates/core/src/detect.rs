@@ -13,7 +13,7 @@
 //! 4. repeat until no candidate survives or the window budget is spent.
 //!
 //! Detected windows are matched against the §2 event timeline so the
-//! "drops correspond closely to [police] events" claim of the paper can
+//! "drops correspond closely to \[police\] events" claim of the paper can
 //! be checked mechanically.
 
 use crate::pipeline::{fit_series, PipelineConfig};

@@ -17,6 +17,10 @@
 //!   by likelihood ratio, and match against the §2 event timeline.
 //! * [`report`] — renderers for Table 1, Table 2, Table 3 and CSV series
 //!   for every figure.
+//! * [`runreport`] — self-contained HTML/Markdown run reports combining
+//!   the manifest, [`booters_obs`] timings/metrics, every table and
+//!   figure, and the `BENCH_*.json` trajectory (see the `repro_report`
+//!   binary).
 //! * [`verify`] — the §3 self-report validation suite (White's test,
 //!   D'Agostino K², prime-divisibility multiplier check, cross-dataset
 //!   correlation).
@@ -26,6 +30,7 @@ pub mod datasets;
 pub mod detect;
 pub mod pipeline;
 pub mod report;
+pub mod runreport;
 pub mod scenario;
 pub mod verify;
 

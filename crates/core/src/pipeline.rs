@@ -188,6 +188,7 @@ pub fn fit_series(
     windows: &[InterventionWindow],
     cfg: &PipelineConfig,
 ) -> Result<GlobalModelResult, GlmError> {
+    booters_obs::span!("fit");
     let design = its_design(series, windows, &cfg.design);
     let y: Vec<f64> = series.values().iter().map(|&v| v.max(0.0).round()).collect();
     let mut opts = cfg.negbin;

@@ -1,8 +1,14 @@
 //! Renderers for the paper's tables and figure data series.
 //!
-//! Each `table*` function returns the text table; each `fig*_csv` function
-//! returns a CSV string with exactly the series the corresponding figure
-//! plots, so a plotting tool (or the benches) can regenerate the figure.
+//! The `table*` functions render text tables: [`table1`] and [`table3`]
+//! return the table directly, while [`table2`] refits per-country models
+//! and so returns `Result<String, GlmError>`. The `fig*` functions
+//! produce the data series the corresponding figure plots, so a plotting
+//! tool (or the `repro_*` binaries) can regenerate it — most return a
+//! CSV `String`, with three exceptions: [`fig4_table`] returns a
+//! [`CorrelationTable`] (render with its `render()` method),
+//! [`fig5_csv`] returns the CSV alongside the fitted [`Fig5Slopes`],
+//! and per-country model text comes from [`country_model_detail`].
 
 use crate::datasets::{HoneypotDataset, SelfReportDataset};
 use crate::pipeline::{

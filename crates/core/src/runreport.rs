@@ -1,0 +1,577 @@
+//! Self-contained run reports: render a simulation run — manifest,
+//! per-stage timings, [`booters_obs`] metric totals, every table/figure
+//! artifact, and the `BENCH_*.json` benchmark trajectory — as one
+//! offline HTML page plus a parallel Markdown digest.
+//!
+//! The HTML is fully inline (CSS, JS, SVG sparklines): no network
+//! fetches, no external assets, so `out/report.html` can be attached to
+//! a ticket or mailed around and still render. Tables built from CSV
+//! artifacts are click-to-sort, in the spirit of datavzrd's portable
+//! reports, via a ~30-line inline script.
+//!
+//! Rendering is pure string → string: the binary
+//! (`crates/core/src/bin/repro_report.rs`) gathers the inputs, this
+//! module formats them, and nothing here touches the filesystem, which
+//! keeps every function unit-testable offline.
+
+use booters_obs::Snapshot;
+use std::fmt::Write as _;
+
+/// Identity of one run: what was simulated, with which knobs.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    /// RNG seed shared by every repro binary.
+    pub seed: u64,
+    /// Volume scale relative to the paper's absolute attack counts.
+    pub scale: f64,
+    /// Environment knobs as `(name, value-or-"(default)")` pairs.
+    pub env: Vec<(String, String)>,
+    /// Workspace crates as `(name, version)` pairs.
+    pub crates: Vec<(String, String)>,
+    /// Total wall-clock of the run in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// One rendered table/figure artifact embedded in the report.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Artifact file name (e.g. `table1.txt`, `fig1_timeline.csv`).
+    pub name: String,
+    /// Short human caption shown next to the name.
+    pub caption: String,
+    /// Full artifact body.
+    pub body: String,
+}
+
+impl Artifact {
+    /// CSV artifacts are rendered as sortable tables; everything else
+    /// as preformatted text.
+    pub fn is_csv(&self) -> bool {
+        self.name.ends_with(".csv")
+    }
+}
+
+/// One benchmark record parsed from a `BENCH_*.json` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Source file the line came from (e.g. `BENCH_glm.json`).
+    pub file: String,
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Per-iteration median, nanoseconds.
+    pub median_ns: u64,
+    /// Median absolute deviation, nanoseconds.
+    pub mad_ns: u64,
+    /// Number of timed samples.
+    pub samples: u64,
+}
+
+/// Everything the renderers need, gathered by the caller.
+#[derive(Debug, Clone)]
+pub struct ReportInput {
+    /// Run identity block.
+    pub manifest: RunManifest,
+    /// Metrics snapshot taken after the pipeline finished.
+    pub snapshot: Snapshot,
+    /// Rendered artifacts, in display order.
+    pub artifacts: Vec<Artifact>,
+    /// Benchmark trajectory, in file order then line order.
+    pub bench: Vec<BenchRecord>,
+}
+
+// ---------------------------------------------------------------------
+// BENCH_*.json line parsing (hand-rolled: no serde in-tree)
+// ---------------------------------------------------------------------
+
+/// Extract a string field from one flat JSON object line.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extract an unsigned integer field from one flat JSON object line.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the JSON-lines body of one `BENCH_*.json` file. Lines missing
+/// the required fields are skipped rather than failing the report.
+pub fn parse_bench_lines(file: &str, text: &str) -> Vec<BenchRecord> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BenchRecord {
+                file: file.to_string(),
+                name: json_str(line, "name")?,
+                median_ns: json_u64(line, "median_ns")?,
+                mad_ns: json_u64(line, "mad_ns").unwrap_or(0),
+                samples: json_u64(line, "samples").unwrap_or(0),
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Shared formatting helpers
+// ---------------------------------------------------------------------
+
+/// Escape the five HTML-significant characters.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human-format a nanosecond duration.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Split one CSV line. The in-tree artifact CSVs never quote fields, so
+/// a plain comma split is exact.
+fn csv_fields(line: &str) -> Vec<&str> {
+    line.split(',').collect()
+}
+
+/// Inline SVG sparkline over `values` (min–max normalised polyline).
+fn sparkline_svg(values: &[u64]) -> String {
+    const W: f64 = 160.0;
+    const H: f64 = 28.0;
+    const PAD: f64 = 2.0;
+    if values.len() < 2 {
+        return String::new();
+    }
+    let lo = *values.iter().min().unwrap() as f64;
+    let hi = *values.iter().max().unwrap() as f64;
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let step = (W - 2.0 * PAD) / (values.len() - 1) as f64;
+    let mut pts = String::new();
+    for (i, &v) in values.iter().enumerate() {
+        let x = PAD + i as f64 * step;
+        let y = H - PAD - (v as f64 - lo) / span * (H - 2.0 * PAD);
+        let _ = write!(pts, "{x:.1},{y:.1} ");
+    }
+    format!(
+        "<svg class=\"spark\" width=\"{W}\" height=\"{H}\" viewBox=\"0 0 {W} {H}\" \
+         role=\"img\" aria-label=\"trend\"><polyline points=\"{}\" fill=\"none\" \
+         stroke=\"#2a6\" stroke-width=\"1.5\"/></svg>",
+        pts.trim_end()
+    )
+}
+
+// ---------------------------------------------------------------------
+// HTML rendering
+// ---------------------------------------------------------------------
+
+const CSS: &str = "\
+body{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:70em;color:#222}\
+h1{font-size:1.5em}h2{font-size:1.15em;border-bottom:1px solid #ddd;padding-bottom:.2em;margin-top:2em}\
+table{border-collapse:collapse;margin:.6em 0}\
+th,td{border:1px solid #ccc;padding:.25em .6em;text-align:left;font-variant-numeric:tabular-nums}\
+th{background:#f3f3f3;cursor:default}\
+table.sortable th{cursor:pointer}table.sortable th:hover{background:#e7e7e7}\
+pre{background:#f7f7f7;border:1px solid #ddd;padding:.8em;overflow-x:auto;font-size:12px}\
+details{margin:.8em 0}summary{cursor:pointer;font-weight:600}\
+summary small{font-weight:400;color:#666}\
+.spark{vertical-align:middle}\
+.meta{color:#666;font-size:.9em}";
+
+const SORT_JS: &str = "\
+document.querySelectorAll('table.sortable').forEach(function(t){\
+var ths=t.querySelectorAll('th');\
+ths.forEach(function(th,i){th.addEventListener('click',function(){\
+var tb=t.tBodies[0],rows=Array.from(tb.rows);\
+var dir=th.dataset.dir==='a'?'d':'a';ths.forEach(function(h){delete h.dataset.dir});th.dataset.dir=dir;\
+rows.sort(function(r1,r2){\
+var a=r1.cells[i].textContent.trim(),b=r2.cells[i].textContent.trim();\
+var na=parseFloat(a),nb=parseFloat(b);\
+var c=(!isNaN(na)&&!isNaN(nb))?na-nb:a.localeCompare(b);\
+return dir==='a'?c:-c;});\
+rows.forEach(function(r){tb.appendChild(r)});});});});";
+
+/// Render a CSV body as a sortable HTML table (first line = header).
+fn csv_to_html_table(body: &str) -> String {
+    let mut lines = body.lines();
+    let mut out = String::from("<table class=\"sortable\"><thead><tr>");
+    if let Some(header) = lines.next() {
+        for f in csv_fields(header) {
+            let _ = write!(out, "<th>{}</th>", esc(f));
+        }
+    }
+    out.push_str("</tr></thead><tbody>");
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        out.push_str("<tr>");
+        for f in csv_fields(line) {
+            let _ = write!(out, "<td>{}</td>", esc(f));
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</tbody></table>");
+    out
+}
+
+/// Render the full self-contained HTML report.
+pub fn render_html(input: &ReportInput) -> String {
+    let m = &input.manifest;
+    let mut h = String::with_capacity(64 * 1024);
+    h.push_str("<!doctype html><html lang=\"en\"><head><meta charset=\"utf-8\">");
+    h.push_str("<title>booting-the-booters run report</title>");
+    let _ = write!(h, "<style>{CSS}</style></head><body>");
+    h.push_str("<h1>booting-the-booters &mdash; run report</h1>");
+    let _ = write!(
+        h,
+        "<p class=\"meta\">seed 0x{:X} &middot; scale {} &middot; wall {}</p>",
+        m.seed,
+        m.scale,
+        fmt_ns(m.wall_ns)
+    );
+
+    // Manifest ---------------------------------------------------------
+    h.push_str("<h2>Manifest</h2><table><tbody>");
+    let _ = write!(h, "<tr><th>seed</th><td>0x{:X}</td></tr>", m.seed);
+    let _ = write!(h, "<tr><th>scale</th><td>{}</td></tr>", m.scale);
+    for (k, v) in &m.env {
+        let _ = write!(h, "<tr><th>{}</th><td>{}</td></tr>", esc(k), esc(v));
+    }
+    h.push_str("</tbody></table>");
+    h.push_str("<table class=\"sortable\"><thead><tr><th>crate</th><th>version</th></tr></thead><tbody>");
+    for (name, ver) in &m.crates {
+        let _ = write!(h, "<tr><td>{}</td><td>{}</td></tr>", esc(name), esc(ver));
+    }
+    h.push_str("</tbody></table>");
+
+    // Stage timings ----------------------------------------------------
+    h.push_str("<h2>Stage timings</h2>");
+    if input.snapshot.spans.is_empty() {
+        h.push_str("<p class=\"meta\">no spans recorded (BOOTERS_OBS off)</p>");
+    } else {
+        h.push_str(
+            "<table class=\"sortable\"><thead><tr><th>span</th><th>count</th>\
+             <th>total</th><th>mean</th></tr></thead><tbody>",
+        );
+        for (path, stat) in &input.snapshot.spans {
+            let mean = if stat.count > 0 { stat.total_ns / stat.count } else { 0 };
+            let _ = write!(
+                h,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                esc(path),
+                stat.count,
+                fmt_ns(stat.total_ns),
+                fmt_ns(mean)
+            );
+        }
+        h.push_str("</tbody></table>");
+    }
+
+    // Metric totals ----------------------------------------------------
+    h.push_str("<h2>Metric totals</h2>");
+    if input.snapshot.counters.is_empty() && input.snapshot.gauges.is_empty() {
+        h.push_str("<p class=\"meta\">no metrics recorded (BOOTERS_OBS off)</p>");
+    } else {
+        h.push_str(
+            "<table class=\"sortable\"><thead><tr><th>metric</th><th>kind</th>\
+             <th>value</th></tr></thead><tbody>",
+        );
+        for (name, v) in &input.snapshot.counters {
+            let _ = write!(
+                h,
+                "<tr><td>{}</td><td>counter</td><td>{v}</td></tr>",
+                esc(name)
+            );
+        }
+        for (name, v) in &input.snapshot.gauges {
+            let _ = write!(
+                h,
+                "<tr><td>{}</td><td>gauge (max)</td><td>{v}</td></tr>",
+                esc(name)
+            );
+        }
+        h.push_str("</tbody></table>");
+    }
+
+    // Artifacts --------------------------------------------------------
+    h.push_str("<h2>Tables &amp; figures</h2>");
+    for a in &input.artifacts {
+        let _ = write!(
+            h,
+            "<details open><summary>{} <small>&mdash; {}</small></summary>",
+            esc(&a.name),
+            esc(&a.caption)
+        );
+        if a.is_csv() {
+            h.push_str(&csv_to_html_table(&a.body));
+        } else {
+            let _ = write!(h, "<pre>{}</pre>", esc(&a.body));
+        }
+        h.push_str("</details>");
+    }
+
+    // Bench trajectory -------------------------------------------------
+    h.push_str("<h2>Benchmark trajectory</h2>");
+    if input.bench.is_empty() {
+        h.push_str("<p class=\"meta\">no BENCH_*.json files found</p>");
+    } else {
+        let mut files: Vec<&str> = input.bench.iter().map(|b| b.file.as_str()).collect();
+        files.dedup();
+        for file in files {
+            let recs: Vec<&BenchRecord> =
+                input.bench.iter().filter(|b| b.file == file).collect();
+            let medians: Vec<u64> = recs.iter().map(|b| b.median_ns).collect();
+            let _ = write!(
+                h,
+                "<details open><summary>{} <small>&mdash; {} records</small> {}</summary>",
+                esc(file),
+                recs.len(),
+                sparkline_svg(&medians)
+            );
+            h.push_str(
+                "<table class=\"sortable\"><thead><tr><th>benchmark</th>\
+                 <th>median</th><th>mad</th><th>samples</th></tr></thead><tbody>",
+            );
+            for b in recs {
+                let _ = write!(
+                    h,
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                    esc(&b.name),
+                    fmt_ns(b.median_ns),
+                    fmt_ns(b.mad_ns),
+                    b.samples
+                );
+            }
+            h.push_str("</tbody></table></details>");
+        }
+    }
+
+    let _ = write!(h, "<script>{SORT_JS}</script></body></html>");
+    h
+}
+
+// ---------------------------------------------------------------------
+// Markdown rendering
+// ---------------------------------------------------------------------
+
+/// Render the parallel Markdown digest (same sections as the HTML).
+pub fn render_markdown(input: &ReportInput) -> String {
+    let m = &input.manifest;
+    let mut md = String::with_capacity(32 * 1024);
+    md.push_str("# booting-the-booters — run report\n\n");
+    let _ = writeln!(md, "- seed: `0x{:X}`", m.seed);
+    let _ = writeln!(md, "- scale: {}", m.scale);
+    let _ = writeln!(md, "- wall: {}", fmt_ns(m.wall_ns));
+    for (k, v) in &m.env {
+        let _ = writeln!(md, "- {k}: `{v}`");
+    }
+    md.push('\n');
+    md.push_str("| crate | version |\n|---|---|\n");
+    for (name, ver) in &m.crates {
+        let _ = writeln!(md, "| {name} | {ver} |");
+    }
+
+    md.push_str("\n## Stage timings\n\n");
+    if input.snapshot.spans.is_empty() {
+        md.push_str("_no spans recorded (BOOTERS_OBS off)_\n");
+    } else {
+        md.push_str("| span | count | total | mean |\n|---|---|---|---|\n");
+        for (path, stat) in &input.snapshot.spans {
+            let mean = if stat.count > 0 { stat.total_ns / stat.count } else { 0 };
+            let _ = writeln!(
+                md,
+                "| {path} | {} | {} | {} |",
+                stat.count,
+                fmt_ns(stat.total_ns),
+                fmt_ns(mean)
+            );
+        }
+    }
+
+    md.push_str("\n## Metric totals\n\n");
+    if input.snapshot.counters.is_empty() && input.snapshot.gauges.is_empty() {
+        md.push_str("_no metrics recorded (BOOTERS_OBS off)_\n");
+    } else {
+        md.push_str("| metric | kind | value |\n|---|---|---|\n");
+        for (name, v) in &input.snapshot.counters {
+            let _ = writeln!(md, "| {name} | counter | {v} |");
+        }
+        for (name, v) in &input.snapshot.gauges {
+            let _ = writeln!(md, "| {name} | gauge (max) | {v} |");
+        }
+    }
+
+    md.push_str("\n## Tables & figures\n");
+    for a in &input.artifacts {
+        let _ = write!(md, "\n### {} — {}\n\n", a.name, a.caption);
+        if a.is_csv() {
+            let mut lines = a.body.lines();
+            if let Some(header) = lines.next() {
+                let fields = csv_fields(header);
+                let _ = writeln!(md, "| {} |", fields.join(" | "));
+                let _ = writeln!(md, "|{}", "---|".repeat(fields.len()));
+                for line in lines.filter(|l| !l.is_empty()) {
+                    let _ = writeln!(md, "| {} |", csv_fields(line).join(" | "));
+                }
+            }
+        } else {
+            md.push_str("```text\n");
+            md.push_str(&a.body);
+            if !a.body.ends_with('\n') {
+                md.push('\n');
+            }
+            md.push_str("```\n");
+        }
+    }
+
+    md.push_str("\n## Benchmark trajectory\n\n");
+    if input.bench.is_empty() {
+        md.push_str("_no BENCH_*.json files found_\n");
+    } else {
+        md.push_str("| file | benchmark | median | mad | samples |\n|---|---|---|---|---|\n");
+        for b in &input.bench {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {} | {} |",
+                b.file,
+                b.name,
+                fmt_ns(b.median_ns),
+                fmt_ns(b.mad_ns),
+                b.samples
+            );
+        }
+    }
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_input() -> ReportInput {
+        let mut snapshot = Snapshot::default();
+        snapshot.counters.insert("glm.irls_fits".into(), 7);
+        snapshot.gauges.insert("store.peak_spill_packets".into(), 42);
+        snapshot.spans.insert(
+            "simulate".into(),
+            booters_obs::SpanStat {
+                count: 1,
+                total_ns: 2_500_000,
+            },
+        );
+        ReportInput {
+            manifest: RunManifest {
+                seed: 0xB00735,
+                scale: 0.25,
+                env: vec![("BOOTERS_THREADS".into(), "(default)".into())],
+                crates: vec![("booters-core".into(), "0.1.0".into())],
+                wall_ns: 3_000_000_000,
+            },
+            snapshot,
+            artifacts: vec![
+                Artifact {
+                    name: "table1.txt".into(),
+                    caption: "global model".into(),
+                    body: "coef <escaped> & done\n".into(),
+                },
+                Artifact {
+                    name: "fig1_timeline.csv".into(),
+                    caption: "weekly attacks".into(),
+                    body: "week,attacks\n2016-06-06,120\n2016-06-13,133\n".into(),
+                },
+            ],
+            bench: parse_bench_lines(
+                "BENCH_glm.json",
+                "{\"name\":\"negbin_fit\",\"median_ns\":1935889,\"mad_ns\":205387,\"samples\":20,\"iters_per_sample\":5}\n\
+                 {\"name\":\"negbin_cold\",\"median_ns\":4689616,\"mad_ns\":200719,\"samples\":20,\"iters_per_sample\":2}\n",
+            ),
+        }
+    }
+
+    #[test]
+    fn bench_lines_parse_and_skip_garbage() {
+        let recs = parse_bench_lines(
+            "BENCH_x.json",
+            "{\"name\":\"a\",\"median_ns\":10,\"mad_ns\":1,\"samples\":5}\nnot json\n",
+        );
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "a");
+        assert_eq!(recs[0].median_ns, 10);
+        assert_eq!(recs[0].file, "BENCH_x.json");
+    }
+
+    #[test]
+    fn html_is_self_contained_and_escaped() {
+        let html = render_html(&sample_input());
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("&lt;escaped&gt; &amp; done"));
+        assert!(html.contains("glm.irls_fits"));
+        assert!(html.contains("negbin_fit"));
+        assert!(html.contains("<svg"), "bench sparkline missing");
+        // Self-contained: no external fetches of any kind.
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("https://"));
+        assert!(!html.contains("src="));
+        assert!(!html.contains("href="));
+    }
+
+    #[test]
+    fn csv_artifacts_become_sortable_tables() {
+        let html = render_html(&sample_input());
+        assert!(html.contains("<th>week</th><th>attacks</th>"));
+        assert!(html.contains("<td>2016-06-13</td><td>133</td>"));
+        assert!(html.contains("table.sortable"));
+    }
+
+    #[test]
+    fn markdown_mirrors_sections() {
+        let md = render_markdown(&sample_input());
+        for heading in [
+            "## Stage timings",
+            "## Metric totals",
+            "## Tables & figures",
+            "## Benchmark trajectory",
+        ] {
+            assert!(md.contains(heading), "missing {heading}");
+        }
+        assert!(md.contains("| week | attacks |"));
+        assert!(md.contains("| BENCH_glm.json | negbin_fit |"));
+    }
+
+    #[test]
+    fn sparkline_needs_two_points() {
+        assert!(sparkline_svg(&[5]).is_empty());
+        assert!(sparkline_svg(&[5, 9, 7]).contains("polyline"));
+    }
+
+    #[test]
+    fn ns_formatting_scales_units() {
+        assert_eq!(fmt_ns(950), "950 ns");
+        assert_eq!(fmt_ns(2_500), "2.5 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50 s");
+    }
+}

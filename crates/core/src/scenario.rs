@@ -114,6 +114,7 @@ impl Scenario {
 
     /// Run a scenario to completion, surfacing store errors.
     pub fn try_run(config: ScenarioConfig) -> Result<Scenario, StoreError> {
+        booters_obs::span!("simulate");
         let cal_start = config.market.calibration.scenario_start;
         let cal_end = config.market.calibration.scenario_end;
         let mut sim = MarketSim::new(config.market.clone());
@@ -208,6 +209,7 @@ impl Scenario {
 
             engine.maintain(out.week as u64 * 7 * 86_400);
             weeks.push(out);
+            booters_obs::counter_add("core.weeks_simulated", 1);
         }
 
         Ok(Scenario {
@@ -276,6 +278,7 @@ fn full_packet_rate(engine: &mut Engine, cmds: &[AttackCommand]) -> f64 {
         return 1.0;
     }
     let packets = engine.simulate_attacks_batch(cmds);
+    booters_obs::span!("group");
     let flows = group_flows_par(&packets, VictimKey::ByIp);
     let attacks = flows
         .iter()
@@ -302,6 +305,7 @@ fn full_packet_rate_store(
         ..spill
     });
     engine.simulate_attacks_batch_into(cmds, &mut grouper);
+    booters_obs::span!("group");
     let out = grouper.finish()?;
     let attacks = out
         .flows

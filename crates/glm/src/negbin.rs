@@ -116,7 +116,10 @@ fn profile_loglik_into(
             WarmStart::Beta(warm),
         );
         if attempt.is_err() {
+            booters_obs::counter_add("glm.warm_start_retries", 1);
             fit_irls_into(ws, x, y, None, &family, &LogLink, &options.irls, WarmStart::Cold)?;
+        } else {
+            booters_obs::counter_add("glm.warm_start_hits", 1);
         }
         warm.copy_from_slice(ws.beta());
     } else {
@@ -169,6 +172,7 @@ pub fn fit_negbin_with(
     names: &[String],
     options: &NegBinOptions,
 ) -> Result<NegBinFit, GlmError> {
+    booters_obs::counter_add("glm.negbin_fits", 1);
     // Poisson pre-fit: seeds α, anchors the LR test, and (warm path)
     // provides the first continuation point for β.
     fit_irls_into(

@@ -305,6 +305,8 @@ pub fn fit_irls_into(
                 ws.w[i] = working_terms(link, family, ws.eta[i], ws.mu[i]).1;
             }
             ws.iterations = iter;
+            booters_obs::counter_add("glm.irls_fits", 1);
+            booters_obs::counter_add("glm.irls_iterations", iter as u64);
             return Ok(());
         }
     }

@@ -2,7 +2,7 @@
 #![warn(missing_docs)]
 //! Small dense linear algebra kernel for the booters analysis stack.
 //!
-//! The GLM fitter ([`booters-glm`]) solves repeated weighted least squares
+//! The GLM fitter (`booters-glm`) solves repeated weighted least squares
 //! problems with at most a few dozen columns, so this crate implements the
 //! classic dense factorisations directly rather than pulling in a BLAS:
 //!

@@ -163,7 +163,7 @@ pub struct Calibration {
     /// after) the advert window. Figure 5: "a nearly-flat slope of -0.1".
     pub nca_uk_trend: f64,
     /// Date UK growth resumes (§4.1: "This flat trend continues until
-    /// August [2018]").
+    /// August \[2018\]").
     pub nca_recovery: Date,
 }
 

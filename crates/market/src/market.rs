@@ -59,7 +59,8 @@ pub struct WeekOutput {
     pub monday: Date,
     /// Attacks per victim country (indexed by [`Country::index`]).
     pub country_counts: [u64; 12],
-    /// Attacks per protocol (indexed by [`UdpProtocol::index`]).
+    /// Attacks per protocol (indexed by `UdpProtocol::index` in
+    /// `booters-netsim`).
     pub protocol_counts: [u64; 10],
     /// Joint country × protocol breakdown.
     pub country_protocol: [[u64; 10]; 12],

@@ -254,6 +254,7 @@ impl Engine {
         cmds: &[AttackCommand],
         sink: &mut S,
     ) -> u64 {
+        booters_obs::span!("synthesize_batch");
         let ws = self.config.working_set;
         let cap = self.config.packet_log_cap;
         // Phase 1: sequential, stateful — same draw order at any thread
@@ -287,6 +288,8 @@ impl Engine {
                 emitted += 1;
             }
         }
+        booters_obs::counter_add("netsim.packets_emitted", emitted);
+        booters_obs::counter_add("netsim.commands_simulated", cmds.len() as u64);
         emitted
     }
 

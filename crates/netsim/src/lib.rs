@@ -4,7 +4,7 @@
 //!
 //! The paper's primary dataset is "victim IPs seen by a large number of
 //! honeypot machines roped into attacks" across ten UDP protocols, with
-//! flows "group[ed] ... to the same victim IP or prefix for the same
+//! flows "group\[ed\] ... to the same victim IP or prefix for the same
 //! protocol until there is a gap of at least 15 minutes", classified as an
 //! attack when "any sensor received more than 5 packets". That trace is
 //! proprietary, so this crate rebuilds the generative chain:

@@ -44,8 +44,10 @@ where
         // Sequential fallback: the exact code path the pre-executor
         // callers ran. Small batches take it too (see the small-work
         // cutoff in the crate docs) — same results, no pool spawn.
+        booters_obs::counter_add("par.seq_fallbacks", 1);
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
+    booters_obs::counter_add("par.pool_dispatches", 1);
     run_on_pool(items, workers, &f)
 }
 
@@ -76,8 +78,10 @@ where
 {
     let workers = crate::threads().min(items.len());
     if workers <= 1 || items.len() < crate::min_items() {
+        booters_obs::counter_add("par.seq_fallbacks", 1);
         return items.iter().map(f).collect();
     }
+    booters_obs::counter_add("par.pool_dispatches", 1);
     run_on_pool(items, workers, &|_, x| f(x)).into_iter().collect()
 }
 

@@ -168,6 +168,7 @@ pub fn decode_chunk(bytes: &[u8]) -> Result<Vec<SensorPacket>, StoreError> {
             "chunk crc mismatch (stored {stored:#010x}, computed {actual:#010x})"
         )));
     }
+    booters_obs::counter_add("store.crc_validations", 1);
     let mut pos = 0usize;
     let n = decode_u64(payload, &mut pos)? as usize;
     if n == 0 {
@@ -215,6 +216,8 @@ pub fn decode_chunk(bytes: &[u8]) -> Result<Vec<SensorPacket>, StoreError> {
     if ZoneMap::of(&packets) != declared {
         return Err(StoreError::corrupt("zone map disagrees with chunk data"));
     }
+    booters_obs::counter_add("store.chunks_decoded", 1);
+    booters_obs::counter_add("store.packets_decoded", n as u64);
     Ok(packets)
 }
 

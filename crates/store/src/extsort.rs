@@ -277,6 +277,8 @@ impl SpillGrouper {
         w.push_all(&self.buf)?;
         let meta = w.finish()?;
         self.runs.files.push(path);
+        booters_obs::counter_add("store.spill_runs", 1);
+        booters_obs::gauge_max("store.peak_spill_packets", meta.packets);
         self.stats.spill_runs += 1;
         self.stats.run_bytes += meta.file_bytes;
         self.stats.run_chunks += meta.chunks;
@@ -302,6 +304,7 @@ impl SpillGrouper {
             grouper.finish()
         } else {
             self.spill()?; // final partial run
+            booters_obs::span!("merge_runs");
             merge_runs(&self.runs.files, key, self.config.merge_read_bytes as u64)?
         };
         booters_netsim::sort_flows(&mut flows);

@@ -133,6 +133,8 @@ impl ChunkWriter {
         }
         let bytes = encode_chunk(&self.buf);
         self.file.write_all(&bytes)?;
+        booters_obs::counter_add("store.chunks_written", 1);
+        booters_obs::counter_add("store.bytes_written", bytes.len() as u64);
         self.index.push(ChunkInfo {
             offset: self.offset,
             packets: self.buf.len() as u64,

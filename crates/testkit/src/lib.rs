@@ -8,7 +8,7 @@
 //! |---|---|---|
 //! | [`rng`] | `rand` | splitmix64 seeding + xoshiro256++ core, [`Rng`]/[`SeedableRng`] traits, [`rngs::StdRng`] |
 //! | [`strategy`] + [`harness`] | `proptest` | [`forall!`] property tests with greedy shrinking and seed replay |
-//! | [`bench`] | `criterion` | warmup + timed samples, median/MAD, one JSON line per benchmark |
+//! | [`mod@bench`] | `criterion` | warmup + timed samples, median/MAD, one JSON line per benchmark |
 //!
 //! ## Seeding
 //!

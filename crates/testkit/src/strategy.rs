@@ -4,7 +4,7 @@
 //! propose *smaller* variants of a failing value (shrinking). The
 //! combinators cover exactly what the workspace suites use: numeric
 //! ranges, `any::<T>()`, fixed values ([`Just`]), tuples, sized
-//! collections ([`vec`]), and the [`Strategy::prop_map`] /
+//! collections ([`vec()`]), and the [`Strategy::prop_map`] /
 //! [`Strategy::prop_flat_map`] adapters.
 
 use crate::rng::{uniform_u64_below, Rng};
@@ -297,7 +297,7 @@ impl_tuple_strategy! {
 // Collections
 // ---------------------------------------------------------------------------
 
-/// Length specification for [`vec`]: a fixed size or a `min..max` range.
+/// Length specification for [`vec()`]: a fixed size or a `min..max` range.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     /// Minimum length (inclusive).
@@ -331,7 +331,7 @@ pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
     VecStrategy { elem, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     elem: S,
     size: SizeRange,

@@ -8,7 +8,7 @@ use crate::date::Date;
 use crate::series::WeeklySeries;
 
 /// One intervention window: a name, an onset date, an optional delay (the
-/// Webstresser takedown "[took] effect after a fortnight") and a duration.
+/// Webstresser takedown "\[took\] effect after a fortnight") and a duration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InterventionWindow {
     /// Human-readable label (e.g. "Xmas2018").

@@ -1,6 +1,6 @@
 //! Seasonal encoding: month-of-year dummies and the Easter indicator.
 //!
-//! The paper "model[s] seasonality over twelve one-month periods, for which
+//! The paper "model\[s\] seasonality over twelve one-month periods, for which
 //! we need eleven seasonal variables" — month 1 (January) is the reference
 //! level, so dummies cover months 2..=12. A separate Easter component
 //! captures the moving school-holiday effect.

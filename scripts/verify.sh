@@ -41,4 +41,26 @@ echo "==> seeded goldens (offline, BOOTERS_PAR_MIN_ITEMS=1, BOOTERS_THREADS=4)"
 BOOTERS_PAR_MIN_ITEMS=1 BOOTERS_THREADS=4 \
     cargo test -q --offline --test smoke_seeded --test par_invariance
 
+# Fifth pass with metrics recording on: the observability contract
+# (DESIGN.md §5e) says BOOTERS_OBS=1 may never change an output byte, so
+# the full suite — every golden included — must pass with the registry
+# recording spans and counters on all hot paths.
+echo "==> cargo test (offline, BOOTERS_OBS=1)"
+BOOTERS_OBS=1 cargo test -q --workspace --offline
+
+# API docs must build warning-free (missing docs and broken intra-doc
+# links are denied), and every doc example must run.
+echo "==> cargo doc (offline, warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace --quiet
+
+echo "==> cargo test --doc (offline)"
+cargo test -q --doc --workspace --offline
+
+# Smoke the run-report renderer: a small-scale instrumented run must
+# produce non-empty self-contained HTML and Markdown reports.
+echo "==> repro_report smoke (offline, scale 0.02)"
+cargo run --release --offline -p booters-core --bin repro_report -- 0.02 >/dev/null
+test -s out/report.html || { echo "verify: out/report.html missing or empty" >&2; exit 1; }
+test -s out/report.md   || { echo "verify: out/report.md missing or empty" >&2; exit 1; }
+
 echo "==> verify: OK"

@@ -22,9 +22,14 @@
 //! | [`core`] | scenario runner, datasets, the §4 pipeline, table/figure renderers |
 //! | [`par`] | deterministic scoped thread-pool driving the simulate→group→fit hot paths |
 //! | [`store`] | chunked columnar on-disk packet store + out-of-core flow grouping |
+//! | [`obs`] | zero-dependency span timers + metric counters, off by default (`BOOTERS_OBS=1`) |
 //!
 //! Parallelism never changes results: every report is byte-identical at
 //! any `BOOTERS_THREADS` setting (see DESIGN.md, "Determinism contract").
+//! Observability never changes results either: with `BOOTERS_OBS=1` the
+//! same bytes come out, plus per-stage timings and metric totals that the
+//! `repro_report` binary renders into `out/report.html` / `out/report.md`
+//! (see DESIGN.md §5e, "Observability contract").
 //!
 //! ## Quickstart
 //!
@@ -49,6 +54,7 @@ pub use booters_glm as glm;
 pub use booters_linalg as linalg;
 pub use booters_market as market;
 pub use booters_netsim as netsim;
+pub use booters_obs as obs;
 pub use booters_par as par;
 pub use booters_stats as stats;
 pub use booters_store as store;
