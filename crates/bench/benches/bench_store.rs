@@ -1,8 +1,9 @@
 //! Storage-layer benchmarks: chunked-columnar ingest throughput (MB/s and
 //! packets/s), codec encode/decode cost, whole-file scan speed (with the
 //! achieved compression ratio embedded in the benchmark name so it lands
-//! in `BENCH_store.json`), and out-of-core vs in-memory flow grouping
-//! wall time under a spill-forcing budget.
+//! in `BENCH_store.json`), per-kernel fast-vs-oracle timings (SWAR
+//! decode, slice-by-8 CRC, radix sort — DESIGN.md §5f), and out-of-core
+//! vs in-memory flow grouping wall time under a spill-forcing budget.
 //!
 //! Run with `BENCH_JSON=BENCH_store.json cargo bench --offline -p
 //! booters-bench --bench bench_store` to refresh the recorded baseline.
@@ -114,6 +115,68 @@ fn bench_scan(c: &mut Criterion) {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Each fast kernel timed against its scalar oracle on the same input,
+/// so the JSON trajectory records the speedup ratio per kernel
+/// (DESIGN.md §5f), not just the end-to-end effect.
+fn bench_kernels(c: &mut Criterion) {
+    let packets: Vec<SensorPacket> = sample_packets().into_iter().take(4096).collect();
+    let encoded = encode_chunk(&packets);
+
+    let mut group = c.benchmark_group("store_kernel_crc32");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("slice8", |b| {
+        b.iter(|| black_box(booters_par::with_scalar_kernels(false, || booters_store::crc32(&encoded))))
+    });
+    group.bench_function("bytewise_oracle", |b| {
+        b.iter(|| black_box(booters_store::crc32_bytewise(&encoded)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("store_kernel_decode");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function("swar", |b| {
+        b.iter(|| {
+            booters_par::with_scalar_kernels(false, || black_box(decode_chunk(&encoded).unwrap().len()))
+        })
+    });
+    group.bench_function("scalar_oracle", |b| {
+        b.iter(|| {
+            booters_par::with_scalar_kernels(true, || black_box(decode_chunk(&encoded).unwrap().len()))
+        })
+    });
+    group.finish();
+
+    // The run-formation sort, fast vs oracle, via the public sort_flows
+    // entry point on a duplicate-heavy flow set.
+    let mut trace = sample_packets();
+    trace.sort_by_key(|p| p.time);
+    let flows = group_flows_par(&trace, VictimKey::ByIp);
+    let mut group = c.benchmark_group("store_kernel_sort");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    group.bench_function("radix", |b| {
+        b.iter(|| {
+            booters_par::with_scalar_kernels(false, || {
+                let mut f = flows.clone();
+                booters_netsim::sort_flows(&mut f);
+                black_box(f.len())
+            })
+        })
+    });
+    group.bench_function("comparison_oracle", |b| {
+        b.iter(|| {
+            booters_par::with_scalar_kernels(true, || {
+                let mut f = flows.clone();
+                booters_netsim::sort_flows(&mut f);
+                black_box(f.len())
+            })
+        })
+    });
+    group.finish();
+}
+
 fn bench_grouping(c: &mut Criterion) {
     let mut packets = sample_packets();
     packets.sort_by_key(|p| p.time);
@@ -140,6 +203,6 @@ fn bench_grouping(c: &mut Criterion) {
 bench_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_ingest, bench_codec, bench_scan, bench_grouping
+    targets = bench_ingest, bench_codec, bench_scan, bench_kernels, bench_grouping
 }
 bench_main!(benches);

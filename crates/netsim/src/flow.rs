@@ -213,13 +213,36 @@ fn shard_of(victim: VictimAddr, protocol: UdpProtocol, shards: usize) -> usize {
     (mixed % shards as u64) as usize
 }
 
+/// The canonical flow order as a 21-byte big-endian radix key:
+/// `start · victim · protocol · end`, so lexicographic byte order equals
+/// the scalar sort's tuple order.
+fn flow_sort_key(f: &Flow) -> [u8; 21] {
+    let mut k = [0u8; 21];
+    k[..8].copy_from_slice(&f.start.to_be_bytes());
+    k[8..12].copy_from_slice(&f.victim.0.to_be_bytes());
+    k[12] = f.protocol.index() as u8;
+    k[13..].copy_from_slice(&f.end.to_be_bytes());
+    k
+}
+
 /// Sort flows into the canonical, scheduler-independent order:
 /// `(start, victim, protocol, end)`. The tuple is unique per flow — two
 /// flows of the same key are separated by at least [`FLOW_GAP_SECS`], and
 /// flows of different keys differ in victim or protocol — so the result
 /// is one total order regardless of how the flows were produced.
+///
+/// The hot path is a stable LSD radix sort
+/// ([`crate::radix::radix_sort_by_key`]) on the big-endian key bytes;
+/// the original comparison sort is retained as the differential-testing
+/// oracle, selected by `BOOTERS_SCALAR_KERNELS=1` /
+/// [`booters_par::with_scalar_kernels`]. Both produce the identical
+/// byte sequence — pinned by property tests in `tests/radix.rs`.
 pub fn sort_flows(flows: &mut [Flow]) {
-    flows.sort_by_key(|f| (f.start, f.victim.0, f.protocol.index(), f.end));
+    if booters_par::scalar_kernels() {
+        flows.sort_by_key(|f| (f.start, f.victim.0, f.protocol.index(), f.end));
+    } else {
+        crate::radix::radix_sort_by_key(flows, flow_sort_key);
+    }
 }
 
 /// Group a packet trace into flows on the configured thread count,
@@ -247,7 +270,9 @@ pub fn group_flows_par(packets: &[SensorPacket], key: VictimKey) -> Vec<Flow> {
         for p in packets {
             buckets[shard_of(key.canonical(p.victim), p.protocol, shards)].push(*p);
         }
-        booters_par::par_map(&buckets, |bucket| {
+        // Coarse fan-out: a handful of shards, each holding thousands of
+        // packets — the item-count cutoff must not apply here.
+        booters_par::par_map_coarse(&buckets, |bucket| {
             let mut grouper = FlowGrouper::with_key(key);
             for p in bucket {
                 grouper.push(p);

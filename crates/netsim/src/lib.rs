@@ -34,6 +34,7 @@ pub mod engine;
 pub mod flow;
 pub mod packet;
 pub mod protocol;
+pub mod radix;
 pub mod reflector;
 pub mod scanner;
 pub mod volume;
@@ -46,3 +47,4 @@ pub use flow::{
 };
 pub use packet::{PacketSink, SensorPacket};
 pub use protocol::UdpProtocol;
+pub use radix::radix_sort_by_key;

@@ -1,0 +1,118 @@
+//! Differential and stability property tests for the radix grouping
+//! sort (DESIGN.md §5f): on every input — duplicate-heavy, adversarial,
+//! or degenerate — [`booters_netsim::radix_sort_by_key`] must produce
+//! output **byte-identical** to the standard library's stable
+//! comparison sort, and [`booters_netsim::sort_flows`] must be
+//! invariant under `BOOTERS_SCALAR_KERNELS`.
+//!
+//! Stability is not a nicety here: the canonical flow-sort key
+//! `(start, victim, protocol, end)` is not a total order over flows
+//! (payload fields like `total_packets` are not in it), so an unstable
+//! fast path could reorder equal-key flows and silently break the
+//! golden tables. The duplicate-key properties below pin that down with
+//! payload tags recording input order.
+
+use booters_netsim::{radix_sort_by_key, sort_flows, Flow, UdpProtocol, VictimAddr};
+use booters_par::with_scalar_kernels;
+use booters_testkit::strategy::prop;
+use booters_testkit::{forall, prop_assert_eq};
+use std::collections::HashMap;
+
+forall! {
+    #![cases(96)]
+
+    fn radix_equals_stable_sort_on_u64_keys(values in prop::collection::vec(0u64..u64::MAX, 0..600)) {
+        let mut expected = values.clone();
+        expected.sort(); // std stable sort
+        let mut got = values;
+        radix_sort_by_key(&mut got, |v| v.to_be_bytes());
+        prop_assert_eq!(got, expected);
+    }
+
+    fn radix_is_stable_on_duplicate_heavy_keys(keys in prop::collection::vec(0u32..8, 0..600)) {
+        // Tiny key space → long runs of equal keys; the payload records
+        // each item's input position, so any reordering of equal keys
+        // (an unstable pass) breaks byte-identity with the stable sort.
+        let mut items: Vec<(u8, u32)> = keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k as u8, i as u32))
+            .collect();
+        let mut expected = items.clone();
+        expected.sort_by_key(|&(k, _)| [k]);
+        radix_sort_by_key(&mut items, |&(k, _)| [k]);
+        prop_assert_eq!(items, expected);
+    }
+
+    fn radix_equals_stable_sort_on_composite_keys(seed in prop::collection::vec((0u32..50, 0u64..1_000, 0u32..4), 0..500)) {
+        // Three-field keys with heavy duplication in every field, keyed
+        // big-endian like the store's run-formation key.
+        let mut items: Vec<(u32, u64, u32, u32)> = seed
+            .into_iter()
+            .enumerate()
+            .map(|(i, (v, t, p))| (v, t, p, i as u32))
+            .collect();
+        let key = |x: &(u32, u64, u32, u32)| {
+            let mut k = [0u8; 13];
+            k[..4].copy_from_slice(&x.0.to_be_bytes());
+            k[4..12].copy_from_slice(&x.1.to_be_bytes());
+            k[12] = x.2 as u8;
+            k
+        };
+        let mut expected = items.clone();
+        expected.sort_by_key(key);
+        radix_sort_by_key(&mut items, key);
+        prop_assert_eq!(items, expected);
+    }
+
+    fn sort_flows_is_kernel_invariant(seed in prop::collection::vec((0u64..200, 0u32..30, 0usize..10, 0u64..100), 0..400)) {
+        // Flows with heavily colliding (start, victim, protocol, end)
+        // keys; `total_packets` tags input order so the assertion also
+        // proves the fast path preserves equal-key order exactly like
+        // the scalar oracle.
+        let flows: Vec<Flow> = seed
+            .into_iter()
+            .enumerate()
+            .map(|(i, (start, victim, proto, span))| Flow {
+                victim: VictimAddr(victim),
+                protocol: UdpProtocol::ALL[proto],
+                start,
+                end: start + span,
+                total_packets: i as u64,
+                per_sensor: HashMap::from([(0, 1 + (i % 7) as u32)]),
+            })
+            .collect();
+        let fast = with_scalar_kernels(false, || {
+            let mut f = flows.clone();
+            sort_flows(&mut f);
+            f
+        });
+        let scalar = with_scalar_kernels(true, || {
+            let mut f = flows.clone();
+            sort_flows(&mut f);
+            f
+        });
+        prop_assert_eq!(fast, scalar);
+    }
+}
+
+#[test]
+fn radix_handles_degenerate_shapes() {
+    // Empty, singleton, all-equal, already-sorted, and reverse-sorted
+    // inputs, both below and above the small-input fallback threshold.
+    for n in [0usize, 1, 2, 127, 128, 129, 1000] {
+        let mut all_equal: Vec<(u64, u32)> = (0..n).map(|i| (42, i as u32)).collect();
+        let before = all_equal.clone();
+        radix_sort_by_key(&mut all_equal, |&(k, _)| k.to_be_bytes());
+        assert_eq!(all_equal, before, "all-equal n={n} reordered");
+
+        let mut sorted: Vec<u64> = (0..n as u64).collect();
+        let expected = sorted.clone();
+        radix_sort_by_key(&mut sorted, |v| v.to_be_bytes());
+        assert_eq!(sorted, expected, "sorted n={n}");
+
+        let mut reversed: Vec<u64> = (0..n as u64).rev().collect();
+        radix_sort_by_key(&mut reversed, |v| v.to_be_bytes());
+        assert_eq!(reversed, expected, "reversed n={n}");
+    }
+}

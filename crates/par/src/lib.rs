@@ -31,21 +31,40 @@
 //! Inside a pool worker it always reports 1, so nested calls fall back to
 //! the sequential path instead of deadlocking or oversubscribing.
 //!
-//! ## Small-work cutoff
+//! ## Small-work cutoff and size-aware scheduling
 //!
 //! Spawning the pool costs tens of microseconds; a Table 2 fan-out has
 //! eight items. Every `par_*` entry point therefore runs sequentially
 //! when the batch has fewer than [`min_items`] items (default 16),
 //! resolved as: a scoped [`with_min_items`] override → the
 //! `BOOTERS_PAR_MIN_ITEMS` environment variable (read once per process)
-//! → 16. Because the sequential path is already part of the determinism
-//! contract (point 3), the cutoff can never change a result — only when
-//! threads are spawned. Set `BOOTERS_PAR_MIN_ITEMS=1` to disable it.
+//! → 16. Above the cutoff, worker count is *size-aware*: at most one
+//! worker per [`min_items`] items is spawned, so a batch barely past the
+//! cutoff gets two threads, not eight two-item ones — and the implied
+//! chunk size never drops below `min_items / CHUNKS_PER_WORKER`.
+//! Because the sequential path is already part of the determinism
+//! contract (point 3), neither the cutoff nor the worker cap can ever
+//! change a result — only when and how many threads are spawned. Set
+//! `BOOTERS_PAR_MIN_ITEMS=1` to disable both.
+//!
+//! Batches of *few but individually heavy* items (decoding store chunks,
+//! grouping per-shard packet buckets) are the one shape the item-count
+//! cutoff misjudges; [`par_map_coarse`] is the entry point for them — no
+//! item-count cutoff, one item per scheduling unit.
+//!
+//! ## Kernel selection
+//!
+//! The crate also hosts the workspace's runtime switch between optimized
+//! byte-level kernels and their scalar reference oracles
+//! ([`scalar_kernels`] / [`with_scalar_kernels`] /
+//! `BOOTERS_SCALAR_KERNELS`) — see the [`mod@kernels`] module docs.
 
+pub mod kernels;
 mod pool;
 mod seed;
 
-pub use pool::{par_for_each, par_map, par_map_collect, par_map_indexed};
+pub use kernels::{scalar_kernels, with_scalar_kernels};
+pub use pool::{par_for_each, par_map, par_map_coarse, par_map_collect, par_map_indexed};
 pub use seed::stream_seed;
 
 use std::cell::Cell;

@@ -18,6 +18,24 @@ fn chunk_len(items: usize, workers: usize) -> usize {
     items.div_ceil(workers * CHUNKS_PER_WORKER).max(1)
 }
 
+/// Size-aware worker count for a fine-grained batch of `len` items:
+/// 1 (the sequential path) below the [`crate::min_items`] cutoff, and at
+/// most one worker per `min_items` items above it, capped by the
+/// configured thread count. Spawning a thread costs tens of
+/// microseconds, so a worker that would receive less than one cutoff's
+/// worth of items costs more than it contributes; capping workers this
+/// way also floors the chunk size at `min_items / CHUNKS_PER_WORKER`.
+/// Results never depend on the answer (determinism contract points 1
+/// and 3) — only the spawn count does.
+fn plan_workers(len: usize) -> usize {
+    let threads = crate::threads().min(len);
+    let min = crate::min_items();
+    if threads <= 1 || len < min {
+        return 1;
+    }
+    threads.min(len / min).max(1)
+}
+
 /// Map `f` over `items` on the configured thread count, returning results
 /// in submission order. With one thread (or ≤ 1 item, or inside a pool
 /// worker) this is exactly `items.iter().map(f).collect()`.
@@ -39,8 +57,8 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let workers = crate::threads().min(items.len());
-    if workers <= 1 || items.len() < crate::min_items() {
+    let workers = plan_workers(items.len());
+    if workers <= 1 {
         // Sequential fallback: the exact code path the pre-executor
         // callers ran. Small batches take it too (see the small-work
         // cutoff in the crate docs) — same results, no pool spawn.
@@ -48,7 +66,29 @@ where
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
     booters_obs::counter_add("par.pool_dispatches", 1);
-    run_on_pool(items, workers, &f)
+    run_on_pool(items, workers, chunk_len(items.len(), workers), &f)
+}
+
+/// [`par_map`] for batches of **few but individually heavy** items —
+/// store chunks to decode, per-shard packet buckets to group. The
+/// item-count cutoff does not apply (eight multi-megabyte buckets are
+/// not "small work") and each item is its own scheduling unit, so an
+/// expensive straggler never pins cheap siblings to the same worker.
+/// Determinism is unchanged: submission-order reduction, sequential
+/// fallback at one thread or one item.
+pub fn par_map_coarse<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = crate::threads().min(items.len());
+    if workers <= 1 {
+        booters_obs::counter_add("par.seq_fallbacks", 1);
+        return items.iter().map(&f).collect();
+    }
+    booters_obs::counter_add("par.pool_dispatches", 1);
+    run_on_pool(items, workers, 1, &|_, x| f(x))
 }
 
 /// Run `f` for each item on the configured thread count. Side effects must
@@ -76,13 +116,15 @@ where
     E: Send,
     F: Fn(&T) -> Result<U, E> + Sync,
 {
-    let workers = crate::threads().min(items.len());
-    if workers <= 1 || items.len() < crate::min_items() {
+    let workers = plan_workers(items.len());
+    if workers <= 1 {
         booters_obs::counter_add("par.seq_fallbacks", 1);
         return items.iter().map(f).collect();
     }
     booters_obs::counter_add("par.pool_dispatches", 1);
-    run_on_pool(items, workers, &|_, x| f(x)).into_iter().collect()
+    run_on_pool(items, workers, chunk_len(items.len(), workers), &|_, x| f(x))
+        .into_iter()
+        .collect()
 }
 
 /// The scoped pool: spawn `workers` threads, hand out chunks off an atomic
@@ -91,17 +133,20 @@ where
 /// A panicking task sets the abort flag (other workers stop at their next
 /// chunk boundary — no hang, no orphan threads: `thread::scope` joins them
 /// all) and the lowest-index captured panic is resumed on the caller.
-fn run_on_pool<T, U, F>(items: &[T], workers: usize, f: &F) -> Vec<U>
+fn run_on_pool<T, U, F>(items: &[T], workers: usize, chunk: usize, f: &F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let chunk = chunk_len(items.len(), workers);
     let n_chunks = items.len().div_ceil(chunk);
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+    // Workers must see the same fast-vs-scalar kernel selection as the
+    // submitting thread (the override is thread-local, and kernels run
+    // inside fanned-out closures — chunk decode, flow grouping).
+    let scalar_kernels = crate::scalar_kernels();
 
     let mut tagged: Vec<(usize, U)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
@@ -109,6 +154,7 @@ where
             .map(|_| {
                 scope.spawn(|| {
                     crate::enter_pool();
+                    crate::kernels::inherit_kernels(scalar_kernels);
                     let mut local: Vec<(usize, U)> = Vec::new();
                     while !abort.load(Ordering::Relaxed) {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
@@ -202,6 +248,53 @@ mod tests {
             });
             assert_eq!(got, expected, "min_items={min}");
         }
+    }
+
+    #[test]
+    fn plan_workers_is_size_aware() {
+        crate::with_threads(8, || {
+            crate::with_min_items(16, || {
+                assert_eq!(plan_workers(8), 1); // below the cutoff
+                assert_eq!(plan_workers(16), 1); // one cutoff's worth: not enough for 2
+                assert_eq!(plan_workers(32), 2);
+                assert_eq!(plan_workers(64), 4);
+                assert_eq!(plan_workers(10_000), 8); // capped by threads
+            });
+            // min_items = 1 restores the plain threads.min(len) plan.
+            crate::with_min_items(1, || {
+                assert_eq!(plan_workers(3), 3);
+                assert_eq!(plan_workers(100), 8);
+            });
+        });
+        crate::with_threads(1, || assert_eq!(plan_workers(1_000_000), 1));
+    }
+
+    #[test]
+    fn size_aware_workers_do_not_change_results() {
+        // Sweep batch sizes across the worker-cap breakpoints: output must
+        // equal the sequential map everywhere.
+        for len in [15usize, 16, 17, 31, 32, 33, 64, 257] {
+            let items: Vec<u64> = (0..len as u64).collect();
+            let expected: Vec<u64> = items.iter().map(|x| x * 7 + 3).collect();
+            let got = crate::with_threads(8, || par_map(&items, |x| x * 7 + 3));
+            assert_eq!(got, expected, "len={len}");
+        }
+    }
+
+    #[test]
+    fn par_map_coarse_matches_sequential_and_skips_the_cutoff() {
+        let items: Vec<u64> = (0..7).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for t in [1usize, 2, 4, 8] {
+            let got = crate::with_threads(t, || par_map_coarse(&items, |x| x * x));
+            assert_eq!(got, expected, "threads={t}");
+        }
+        // Seven items is below the default cutoff, yet the coarse entry
+        // point still runs them on pool workers.
+        let on_pool = crate::with_threads(4, || par_map_coarse(&items, |_| crate::in_pool()));
+        assert!(on_pool.iter().all(|&p| p));
+        let on_pool = crate::with_threads(1, || par_map_coarse(&items, |_| crate::in_pool()));
+        assert!(on_pool.iter().all(|&p| !p));
     }
 
     #[test]

@@ -26,7 +26,7 @@
 
 use crate::error::StoreError;
 use crate::crc32::crc32;
-use crate::varint::{decode_u64, encode_u64, unzigzag, zigzag};
+use crate::varint::{decode_deltas, decode_u64, encode_u64, zigzag};
 use booters_netsim::{SensorPacket, UdpProtocol, VictimAddr};
 
 /// Default packets per chunk: small enough that a decoded chunk per
@@ -77,8 +77,11 @@ impl ZoneMap {
     }
 }
 
-/// Append one delta-zig-zag column for `field` over `packets`.
-fn encode_column(
+/// Append one delta-zig-zag column for `field` over `packets` with the
+/// scalar reference encoder — the oracle for [`encode_column`]'s batched
+/// fast path (both must produce byte-identical columns; pinned by
+/// `tests/kernel_diff.rs`).
+fn encode_column_scalar(
     packets: &[SensorPacket],
     field: impl Fn(&SensorPacket) -> u64,
     out: &mut Vec<u8>,
@@ -86,6 +89,58 @@ fn encode_column(
     let mut col = Vec::new();
     let mut prev = 0i64;
     for p in packets {
+        let v = field(p) as i64;
+        encode_u64(zigzag(v.wrapping_sub(prev)), &mut col);
+        prev = v;
+    }
+    encode_u64(col.len() as u64, out);
+    out.extend_from_slice(&col);
+}
+
+/// Append one delta-zig-zag column for `field` over `packets`.
+///
+/// Fast path: deltas are produced eight at a time, and when all eight
+/// zig-zags fit single-byte varints (the dominant shape for sorted time
+/// and clustered victim/protocol columns) they are packed into one
+/// little-endian word and appended with a single 8-byte copy — the
+/// encode-side mirror of `decode_deltas_fast`'s batch lane. A 1-byte
+/// LEB128 varint *is* its value, so the emitted bytes are identical to
+/// the scalar encoder's on every input.
+fn encode_column(
+    packets: &[SensorPacket],
+    field: impl Fn(&SensorPacket) -> u64,
+    out: &mut Vec<u8>,
+) {
+    if booters_par::scalar_kernels() {
+        return encode_column_scalar(packets, field, out);
+    }
+    let n = packets.len();
+    let mut col = Vec::with_capacity(n + n / 2);
+    let mut prev = 0i64;
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let mut zs = [0u64; 8];
+        let mut all_small = true;
+        for (j, z) in zs.iter_mut().enumerate() {
+            let v = field(&packets[i + j]) as i64;
+            *z = zigzag(v.wrapping_sub(prev));
+            prev = v;
+            all_small &= *z < 0x80;
+        }
+        if all_small {
+            let mut word = 0u64;
+            for (j, &z) in zs.iter().enumerate() {
+                word |= z << (8 * j);
+            }
+            col.extend_from_slice(&word.to_le_bytes());
+        } else {
+            for &z in &zs {
+                encode_u64(z, &mut col);
+            }
+        }
+        i += 8;
+    }
+    for p in &packets[i..] {
         let v = field(p) as i64;
         encode_u64(zigzag(v.wrapping_sub(prev)), &mut col);
         prev = v;
@@ -107,25 +162,7 @@ fn decode_column(
         .checked_add(len)
         .filter(|&e| e <= buf.len())
         .ok_or_else(|| StoreError::corrupt(format!("{name} column overruns chunk")))?;
-    let col = &buf[*pos..end];
-    let mut cpos = 0usize;
-    let mut prev = 0i64;
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let delta = unzigzag(decode_u64(col, &mut cpos)?);
-        let v = prev.wrapping_add(delta);
-        prev = v;
-        let u = v as u64;
-        if u > max {
-            return Err(StoreError::corrupt(format!(
-                "{name} value {u} out of range at row {i}"
-            )));
-        }
-        out.push(u);
-    }
-    if cpos != col.len() {
-        return Err(StoreError::corrupt(format!("{name} column has trailing bytes")));
-    }
+    let out = decode_deltas(&buf[*pos..end], n, max, name)?;
     *pos = end;
     Ok(out)
 }

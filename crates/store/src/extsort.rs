@@ -19,11 +19,15 @@
 //! `classify_flows` / `group_flows_par` over the same trace, at every
 //! budget, run count, and thread count.
 //!
-//! Determinism contract: the sort key is a total order over packets
-//! (ties broken by every remaining field, then by run index in the
-//! merge), initial chunk decodes are fanned out through `booters-par`
-//! with submission-order result collection, and refills are sequential —
-//! so the merged stream is a pure function of the input multiset.
+//! Determinism contract: runs are formed with *stable* sorts on the
+//! `(canonical victim, protocol, time)` key and the merge breaks key
+//! ties by run index, so the merged stream is a pure function of the
+//! input sequence; packets equal under the key are interchangeable for
+//! grouping (per-sensor counts and totals are order-free aggregates,
+//! and [`booters_netsim::sort_flows`] canonicalises the flow order), so
+//! budgets, thread counts, and kernel selection can never change the
+//! flows. Initial chunk decodes are fanned out through `booters-par`
+//! with submission-order result collection; refills are sequential.
 
 use crate::chunk::DEFAULT_CHUNK_CAPACITY;
 use crate::error::StoreError;
@@ -31,7 +35,7 @@ use crate::reader::ChunkReader;
 use crate::writer::{ChunkWriter, PACKET_BYTES};
 use booters_netsim::flow::FLOW_GAP_SECS;
 use booters_netsim::packet::PacketSink;
-use booters_netsim::{Flow, FlowGrouper, SensorPacket, UdpProtocol, VictimAddr, VictimKey};
+use booters_netsim::{Flow, SensorPacket, UdpProtocol, VictimAddr, VictimKey};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::path::PathBuf;
@@ -145,21 +149,47 @@ pub struct GroupOutcome {
     pub stats: SpillStats,
 }
 
-/// Total order over packets used for runs and the merge: canonical
-/// victim, then protocol, then time — so each `(victim, protocol)` group
-/// arrives contiguously and time-nondecreasing — with the remaining
-/// fields breaking ties to make the order unique per packet value.
-type SortKey = (u32, usize, u64, u32, u8, u16);
+/// The grouping order over packets used for runs and the merge:
+/// canonical victim, then protocol, then time — so each
+/// `(victim, protocol)` group arrives contiguously and
+/// time-nondecreasing, which is all the flow semantics depend on
+/// (aggregates are order-free within a timestamp, and the final
+/// [`booters_netsim::sort_flows`] canonicalises flow order).
+///
+/// The tuple `(victim, protocol, time)` is *packed* into the low 104
+/// bits of one `u128` — fields in that order, most-significant first,
+/// none overlapping — so every comparison (run sorting, the k-way merge
+/// heap, the gallop guard) is a single integer compare. Packing is
+/// strictly monotone, so the order is exactly the tuple order. Packets
+/// equal under this key are interchangeable for grouping; both run
+/// sorts are stable and the merge breaks key ties by run index, keeping
+/// every path deterministic.
+type SortKey = u128;
 
 fn sort_key(key: VictimKey, p: &SensorPacket) -> SortKey {
-    (
-        key.canonical(p.victim).0,
-        p.protocol.index(),
-        p.time,
-        p.sensor,
-        p.ttl,
-        p.src_port,
-    )
+    ((key.canonical(p.victim).0 as u128) << 72)
+        | ((p.protocol.index() as u128) << 64)
+        | p.time as u128
+}
+
+/// [`sort_key`] as a fixed-width big-endian byte string: exactly the
+/// packed key's 13 meaningful bytes, so lexicographic byte order equals
+/// [`SortKey`] order and the (stable) radix sort produces the same
+/// permutation as the (stable) comparison sort.
+fn radix_key(key: VictimKey, p: &SensorPacket) -> [u8; 13] {
+    sort_key(key, p).to_be_bytes()[3..].try_into().expect("13 bytes")
+}
+
+/// Sort a run buffer by [`sort_key`] order: LSD radix on the byte key
+/// unless the scalar oracle is forced — the key is a total order, so
+/// stability is moot and the two sorts are byte-identical (pinned by
+/// the differential tests in `tests/kernel_diff.rs`).
+fn sort_run(buf: &mut [SensorPacket], key: VictimKey) {
+    if booters_par::scalar_kernels() {
+        buf.sort_by_key(|p| sort_key(key, p));
+    } else {
+        booters_netsim::radix_sort_by_key(buf, |p| radix_key(key, p));
+    }
 }
 
 /// Monotone source of unique spill-directory names within the process.
@@ -238,10 +268,22 @@ impl SpillGrouper {
         Ok(())
     }
 
-    /// Push a batch of packets.
+    /// Push a batch of packets. Spills happen at exactly the same
+    /// buffer-fill boundaries as the per-packet [`SpillGrouper::push`]
+    /// path — the batch just replaces per-packet calls with slice copies
+    /// up to each boundary, so run contents are identical either way.
     pub fn push_all(&mut self, packets: &[SensorPacket]) -> Result<(), StoreError> {
-        for p in packets {
-            self.push(p)?;
+        let mut rest = packets;
+        while !rest.is_empty() {
+            let room = self.budget_packets - self.buf.len();
+            let take = room.min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            self.stats.packets += take as u64;
+            rest = &rest[take..];
+            self.stats.peak_buf_packets = self.stats.peak_buf_packets.max(self.buf.len());
+            if self.buf.len() >= self.budget_packets {
+                self.spill()?;
+            }
         }
         Ok(())
     }
@@ -270,7 +312,7 @@ impl SpillGrouper {
             return Ok(());
         }
         let key = self.config.key;
-        self.buf.sort_by_key(|p| sort_key(key, p));
+        sort_run(&mut self.buf, key);
         let dir = self.spill_dir()?;
         let path = dir.join(format!("run-{:05}.bst", self.runs.files.len()));
         let mut w = ChunkWriter::with_capacity(&path, self.config.chunk_capacity)?;
@@ -296,7 +338,7 @@ impl SpillGrouper {
         let mut flows = if self.runs.files.is_empty() {
             // Everything fit in the budget: sort in place and group —
             // the merge path minus the disk round-trip.
-            self.buf.sort_by_key(|p| sort_key(key, p));
+            sort_run(&mut self.buf, key);
             let mut grouper = KeyedGrouper::new(key);
             for p in &self.buf {
                 grouper.push(p);
@@ -329,13 +371,94 @@ impl PacketSink for SpillGrouper {
     }
 }
 
-/// Group a key-sorted packet stream: one [`FlowGrouper`] per
-/// `(canonical victim, protocol)` group, swapped out when the key
-/// changes, so memory is bounded by one key's open flows.
+/// Group a key-sorted packet stream: at most one open flow at a time,
+/// swapped out when the `(canonical victim, protocol)` key changes or
+/// the 15-minute gap closes it, so memory is bounded by one flow.
+///
+/// This is [`booters_netsim::FlowGrouper`] specialised to the sorted
+/// stream: because
+/// each key's packets arrive contiguously and time-nondecreasing, the
+/// grouper tracks its single open flow in a plain struct — no per-packet
+/// hash-map lookup of the flow key, which dominated the merge loop. The
+/// gap rule, aggregation, and produced [`Flow`] values are identical
+/// (`FlowGrouper::push` semantics, pinned by the store-vs-in-memory
+/// equivalence goldens).
 struct KeyedGrouper {
     key: VictimKey,
-    current: Option<((VictimAddr, UdpProtocol), FlowGrouper)>,
+    current: Option<OpenKeyedFlow>,
     flows: Vec<Flow>,
+}
+
+/// Cheap keyed hasher for the per-sensor accumulation map: one
+/// splitmix64-style mix instead of SipHash's per-lookup setup. Sensor
+/// ids are not attacker-controlled (they come from the simulator), so
+/// DoS-resistant hashing buys nothing on this per-packet hot path. Only
+/// the accumulator uses it — the map is re-collected into the standard
+/// `HashMap` when the flow closes, so [`Flow`] is unchanged.
+#[derive(Default)]
+struct SensorHasher(u64);
+
+impl std::hash::Hasher for SensorHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        // splitmix64 finalizer: full avalanche, so both the bucket bits
+        // and hashbrown's control bits are well distributed.
+        let mut z = self.0 ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type SensorCounts = std::collections::HashMap<u32, u32, std::hash::BuildHasherDefault<SensorHasher>>;
+
+/// The one open flow of a [`KeyedGrouper`]; `victim` is canonical.
+struct OpenKeyedFlow {
+    victim: VictimAddr,
+    protocol: UdpProtocol,
+    start: u64,
+    end: u64,
+    total: u64,
+    per_sensor: SensorCounts,
+}
+
+impl OpenKeyedFlow {
+    fn open(victim: VictimAddr, p: &SensorPacket) -> OpenKeyedFlow {
+        let mut per_sensor = SensorCounts::default();
+        per_sensor.insert(p.sensor, 1);
+        OpenKeyedFlow {
+            victim,
+            protocol: p.protocol,
+            start: p.time,
+            end: p.time,
+            total: 1,
+            per_sensor,
+        }
+    }
+
+    fn close(self) -> Flow {
+        Flow {
+            victim: self.victim,
+            protocol: self.protocol,
+            start: self.start,
+            end: self.end,
+            total_packets: self.total,
+            per_sensor: self.per_sensor.into_iter().collect(),
+        }
+    }
 }
 
 impl KeyedGrouper {
@@ -348,22 +471,29 @@ impl KeyedGrouper {
     }
 
     fn push(&mut self, p: &SensorPacket) {
-        let gk = (self.key.canonical(p.victim), p.protocol);
+        let victim = self.key.canonical(p.victim);
         match &mut self.current {
-            Some((ck, grouper)) if *ck == gk => grouper.push(p),
+            Some(f)
+                if f.victim == victim
+                    && f.protocol == p.protocol
+                    && p.time.saturating_sub(f.end) < FLOW_GAP_SECS =>
+            {
+                f.end = f.end.max(p.time);
+                f.total += 1;
+                *f.per_sensor.entry(p.sensor).or_insert(0) += 1;
+            }
             _ => {
-                let mut grouper = FlowGrouper::with_key(self.key);
-                grouper.push(p);
-                if let Some((_, old)) = std::mem::replace(&mut self.current, Some((gk, grouper))) {
-                    self.flows.extend(old.finish());
+                let opened = OpenKeyedFlow::open(victim, p);
+                if let Some(old) = std::mem::replace(&mut self.current, Some(opened)) {
+                    self.flows.push(old.close());
                 }
             }
         }
     }
 
     fn finish(mut self) -> Vec<Flow> {
-        if let Some((_, grouper)) = self.current.take() {
-            self.flows.extend(grouper.finish());
+        if let Some(f) = self.current.take() {
+            self.flows.push(f.close());
         }
         self.flows
     }
@@ -452,10 +582,10 @@ impl RunCursor {
 /// The first chunk of every run is decoded in one `booters-par` fan-out
 /// (submission-order results); subsequent chunks are decoded on demand
 /// as each cursor drains, from double-buffered `read_bytes`-sized batch
-/// reads (see [`RunCursor`]). Heap ties between runs carrying equal
-/// packets are broken by run index — with the sort key unique per packet
-/// value, equal keys mean equal packets, so even the tie-break cannot
-/// affect the grouped output.
+/// reads (see [`RunCursor`]). Heap ties between runs are broken by run
+/// index — deterministic, and invisible in the grouped output because
+/// packets equal under the key are interchangeable for grouping (see
+/// the [`SortKey`] docs).
 fn merge_runs(
     run_files: &[PathBuf],
     key: VictimKey,
@@ -475,7 +605,10 @@ fn merge_runs(
             }
         })
         .collect::<Result<_, _>>()?;
-    let first_chunks = booters_par::par_map(&first_raw, |bytes| {
+    // Coarse fan-out: there are only as many items as runs, each a full
+    // chunk decode — exactly the few-but-heavy shape `par_map`'s
+    // min-items cutoff would serialise.
+    let first_chunks = booters_par::par_map_coarse(&first_raw, |bytes| {
         if bytes.is_empty() {
             Ok(Vec::new())
         } else {
@@ -503,11 +636,29 @@ fn merge_runs(
     }
     let mut grouper = KeyedGrouper::new(key);
     while let Some(Reverse((_, i))) = heap.pop() {
-        let p = *cursors[i].current().expect("cursor on heap has a packet");
-        grouper.push(&p);
-        cursors[i].advance()?;
-        if let Some(np) = cursors[i].current() {
-            heap.push(Reverse((sort_key(key, np), i)));
+        // Drain run `i` for as long as it stays the overall minimum —
+        // identical pop order to the naive one-packet-per-heap-op loop,
+        // because the guard below is exactly the heap's comparison
+        // against the runner-up. Runs are time slices, so within one
+        // (victim, protocol) key the winner rarely changes and most
+        // packets skip the heap entirely.
+        let bound = heap.peek().map(|&Reverse(b)| b);
+        loop {
+            let p = *cursors[i].current().expect("cursor on heap has a packet");
+            grouper.push(&p);
+            cursors[i].advance()?;
+            let Some(np) = cursors[i].current() else {
+                break; // run exhausted
+            };
+            let Some(b) = bound else {
+                continue; // only run left: drain it
+            };
+            let nk = sort_key(key, np);
+            // Equal keys yield to the lower run index, like the heap.
+            if (nk, i) > b {
+                heap.push(Reverse((nk, i)));
+                break;
+            }
         }
     }
     Ok(grouper.finish())

@@ -37,7 +37,7 @@ pub mod varint;
 pub mod writer;
 
 pub use chunk::{decode_chunk, encode_chunk, ZoneMap, DEFAULT_CHUNK_CAPACITY};
-pub use crc32::crc32;
+pub use crc32::{crc32, crc32_bytewise};
 pub use error::StoreError;
 pub use extsort::{
     budget_from_env, classify_out_of_core, group_out_of_core, parse_budget, GroupOutcome,

@@ -217,7 +217,9 @@ impl ChunkReader {
         let raw: Vec<Vec<u8>> = (0..self.chunk_count())
             .map(|i| self.raw_chunk(i))
             .collect::<Result<_, _>>()?;
-        let decoded = booters_par::par_map(&raw, |bytes| decode_chunk(bytes));
+        // Coarse fan-out: items are whole-chunk decodes — heavy enough
+        // that even a handful justify workers.
+        let decoded = booters_par::par_map_coarse(&raw, |bytes| decode_chunk(bytes));
         let mut out = Vec::with_capacity(self.total_packets as usize);
         for chunk in decoded {
             out.extend(chunk?);

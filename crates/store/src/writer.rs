@@ -119,10 +119,21 @@ impl ChunkWriter {
         Ok(())
     }
 
-    /// Append a batch of packets.
+    /// Append a batch of packets. Chunks are cut at exactly the same
+    /// boundaries as the per-packet [`ChunkWriter::push`] path — the
+    /// batch just replaces per-packet calls with slice copies up to each
+    /// boundary.
     pub fn push_all(&mut self, packets: &[SensorPacket]) -> Result<(), StoreError> {
-        for p in packets {
-            self.push(p)?;
+        let mut rest = packets;
+        while !rest.is_empty() {
+            let room = self.chunk_capacity - self.buf.len();
+            let take = room.min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            self.packets += take as u64;
+            rest = &rest[take..];
+            if self.buf.len() >= self.chunk_capacity {
+                self.flush_chunk()?;
+            }
         }
         Ok(())
     }

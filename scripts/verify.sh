@@ -41,7 +41,32 @@ echo "==> seeded goldens (offline, BOOTERS_PAR_MIN_ITEMS=1, BOOTERS_THREADS=4)"
 BOOTERS_PAR_MIN_ITEMS=1 BOOTERS_THREADS=4 \
     cargo test -q --offline --test smoke_seeded --test par_invariance
 
-# Fifth pass with metrics recording on: the observability contract
+# Fifth pass with every byte-level fast kernel (SWAR varint decode,
+# slice-by-8 CRC-32, radix grouping sort, coarse fan-outs) forced back to
+# its scalar reference implementation. DESIGN.md §5f: kernel selection is
+# an implementation detail — the goldens must stay byte-identical with
+# the oracles in charge, at one thread and at four.
+echo "==> seeded goldens (offline, BOOTERS_SCALAR_KERNELS=1)"
+BOOTERS_SCALAR_KERNELS=1 \
+    cargo test -q --offline --test smoke_seeded --test store_equivalence --test par_invariance
+BOOTERS_SCALAR_KERNELS=1 BOOTERS_THREADS=4 \
+    cargo test -q --offline --test smoke_seeded --test store_equivalence --test par_invariance
+
+# Artifact-level kernel check: render Table 1 with the fast kernels, then
+# again with the scalar oracles, and require the written artifacts to be
+# byte-for-byte identical.
+echo "==> table1 artifact diff (fast kernels vs scalar oracles)"
+cargo run --release --offline -p booters-bench --bin repro_table1 >/dev/null
+cp out/table1.txt out/table1.fast.txt
+BOOTERS_SCALAR_KERNELS=1 \
+    cargo run --release --offline -p booters-bench --bin repro_table1 >/dev/null
+cmp out/table1.fast.txt out/table1.txt || {
+    echo "verify: table1 artifact differs between fast kernels and scalar oracles" >&2
+    exit 1
+}
+rm -f out/table1.fast.txt
+
+# Sixth pass with metrics recording on: the observability contract
 # (DESIGN.md §5e) says BOOTERS_OBS=1 may never change an output byte, so
 # the full suite — every golden included — must pass with the registry
 # recording spans and counters on all hot paths.

@@ -5,6 +5,12 @@
 //! leave every analysis output **byte-identical** — not merely close — to
 //! the in-memory pipeline, across thread counts and under a memory budget
 //! small enough to force real multi-run external merging.
+//!
+//! The same bar applies to the byte-level fast kernels (DESIGN.md §5f):
+//! the SWAR varint decoder, slice-by-8 CRC, and radix run sort are all
+//! active on this path, and forcing every one of them back to its scalar
+//! oracle (`BOOTERS_SCALAR_KERNELS=1`) must not move a single byte of
+//! Table 1 or Table 2.
 
 use booting_the_booters::core::pipeline::{build_dataset_store, fit_global, PipelineConfig};
 use booting_the_booters::core::report::{table1, table2};
@@ -58,7 +64,7 @@ fn store_backed_tables_are_byte_identical_across_threads_and_budget() {
     assert!(ref_t1.contains("Xmas 2018 event"));
     assert!(ref_t2.contains("Overall"));
 
-    for threads in [1usize, 4] {
+    for threads in [1usize, 2, 4, 8] {
         let (t1, t2, stats) = with_threads(threads, || {
             let spill = SpillConfig {
                 budget_bytes: TINY_BUDGET,
@@ -86,6 +92,36 @@ fn store_backed_tables_are_byte_identical_across_threads_and_budget() {
             "Table 2 differs from the in-memory path at threads={threads}:\n--- in-memory ---\n{ref_t2}\n--- store-backed ---\n{t2}"
         );
     }
+}
+
+#[test]
+fn store_backed_tables_are_kernel_invariant() {
+    use booting_the_booters::par::with_scalar_kernels;
+    // Fast kernels (the default) vs every kernel forced to its scalar
+    // oracle, both through the spill/merge store path where the SWAR
+    // decoder, slice-by-8 CRC, and radix run sort all execute.
+    let run = |scalar: bool| {
+        with_scalar_kernels(scalar, || {
+            let spill = SpillConfig {
+                budget_bytes: TINY_BUDGET,
+                ..SpillConfig::default()
+            };
+            let s = build_dataset_store(config(), spill).expect("store-backed scenario");
+            let stats = s.store_stats.expect("store path ran");
+            assert!(stats.spill_runs >= 3, "scalar={scalar}: no real merge");
+            render_tables(&s)
+        })
+    };
+    let (fast_t1, fast_t2) = run(false);
+    let (scalar_t1, scalar_t2) = run(true);
+    assert!(
+        fast_t1 == scalar_t1,
+        "Table 1 differs between fast kernels and scalar oracles:\n--- fast ---\n{fast_t1}\n--- scalar ---\n{scalar_t1}"
+    );
+    assert!(
+        fast_t2 == scalar_t2,
+        "Table 2 differs between fast kernels and scalar oracles:\n--- fast ---\n{fast_t2}\n--- scalar ---\n{scalar_t2}"
+    );
 }
 
 #[test]
