@@ -1,0 +1,230 @@
+//! Streaming-ingest benchmarks for `booters-serve` (DESIGN.md §5g).
+//!
+//! Two shapes:
+//!
+//! 1. A criterion-style throughput benchmark of the full streaming loop
+//!    (ingest → watermark advances → epoch close) on a one-day stream,
+//!    so `BENCH_serve.json` carries a median-of-samples packets/s line.
+//! 2. A one-shot *probe* on a multi-day, millions-of-victims stream that
+//!    records what a steady-state serving process cares about: sustained
+//!    packets/s, p50/p99 intake-to-classification latency, and the peak
+//!    open-flow / pending-packet footprint (the bounded-state claim).
+//!    The probe emits extra JSON lines in the harness's line format
+//!    (median_ns + custom fields) so the numbers land in the same
+//!    trajectory file.
+//!
+//! Latency is defined per sampled packet as the wall-clock time from its
+//! `ingest` call to the completion of the first watermark advance that
+//! could have classified it — the first advance whose watermark passes
+//! `packet.time + FLOW_GAP_SECS`, at which point a flow ending at that
+//! packet is guaranteed closed and classified. Packets whose bound is
+//! never passed mid-stream resolve at the final epoch close.
+//!
+//! Run with `BENCH_JSON=BENCH_serve.json cargo bench --offline -p
+//! booters-bench --bench bench_serve` to refresh the recorded baseline.
+
+use booters_netsim::flow::FLOW_GAP_SECS;
+use booters_netsim::{SensorPacket, UdpProtocol, VictimAddr};
+use booters_serve::{RefitPolicy, ServeConfig, ServeNode};
+use booters_testkit::bench::{black_box, Criterion, Throughput};
+use booters_testkit::rng::SplitMix64;
+use booters_testkit::{bench_group, bench_main};
+use std::time::Instant;
+
+const DAY_SECS: u64 = 86_400;
+/// How far arrivals may trail sim time (well inside the default
+/// 1800 s watermark lag, so no packet is ever late).
+const MAX_DISORDER_SECS: u64 = 300;
+/// Watermark advance cadence in sim seconds.
+const ADVANCE_EVERY_SECS: u64 = 60;
+
+/// Deterministic synthetic sensor stream: `n` packets spread evenly over
+/// `days` days, victims drawn uniformly from `victims` addresses, with
+/// bounded backward time jitter so the pending buffers and re-sort path
+/// do real work.
+fn synth_stream(n: usize, victims: u32, days: u64, seed: u64) -> Vec<SensorPacket> {
+    let span = days * DAY_SECS;
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|i| {
+            let base = (i as u64 * span) / n as u64;
+            let r = rng.next_u64();
+            SensorPacket {
+                time: base.saturating_sub(r % (MAX_DISORDER_SECS + 1)),
+                sensor: ((r >> 16) % 8) as u32,
+                victim: VictimAddr(((r >> 32) % victims as u64) as u32),
+                protocol: UdpProtocol::ALL[((r >> 8) % 10) as usize],
+                ttl: 64,
+                src_port: (r >> 48) as u16,
+            }
+        })
+        .collect()
+}
+
+fn bench_node() -> ServeNode {
+    ServeNode::new(ServeConfig {
+        refit: RefitPolicy {
+            enabled: false,
+            ..RefitPolicy::default()
+        },
+        ..ServeConfig::default()
+    })
+}
+
+/// Drive the full streaming loop once: ingest every packet, advance the
+/// watermark every [`ADVANCE_EVERY_SECS`] of sim time, drain closed
+/// flows as they appear (bounding memory like a real serving process),
+/// and close the epoch at the end. Returns (flows closed, attacks).
+fn drive(stream: &[SensorPacket], node: &mut ServeNode) -> (u64, u64) {
+    let mut next_advance = ADVANCE_EVERY_SECS;
+    let mut flows = 0u64;
+    let mut attacks = 0u64;
+    for p in stream {
+        node.ingest(p).expect("bench stream is never late");
+        if p.time >= next_advance {
+            node.advance_watermark(node.suggested_watermark())
+                .expect("healthy node");
+            for f in node.take_flows().expect("healthy node") {
+                flows += 1;
+                attacks += (f.classify() == booters_netsim::FlowClass::Attack) as u64;
+            }
+            next_advance = p.time + ADVANCE_EVERY_SECS;
+        }
+    }
+    (flows, attacks)
+}
+
+fn bench_stream_throughput(c: &mut Criterion) {
+    // One day, 200k victims, 400k packets: big enough that sharding,
+    // ring drains, and the incremental grouper dominate fixed costs.
+    let stream = synth_stream(400_000, 200_000, 1, 0x5E12_FE01);
+    let mut group = c.benchmark_group("serve_stream");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("ingest_group_close_1d_200k_victims", |b| {
+        b.iter(|| {
+            let mut node = bench_node();
+            let counts = drive(&stream, &mut node);
+            let (flows, stats) = node.finish().expect("healthy node");
+            black_box((counts, flows.len(), stats.packets))
+        })
+    });
+    group.finish();
+}
+
+/// Emit one JSON line in the harness's format plus free-form extra
+/// fields, to stdout and (when set) `$BENCH_JSON`.
+fn emit_line(name: &str, median_ns: u128, extra: &str) {
+    let line = format!(
+        "{{\"name\":\"{name}\",\"median_ns\":{median_ns},\"mad_ns\":0,\
+         \"samples\":1,\"iters_per_sample\":1{extra}}}"
+    );
+    println!("{line}");
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        use std::io::Write;
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn probe_multi_day_stream(_c: &mut Criterion) {
+    // Three days, two million victim addresses, three million packets:
+    // most flows are tiny and the open-flow set must stay bounded by
+    // the watermark, not grow with the stream.
+    let n = 3_000_000usize;
+    let stream = synth_stream(n, 2_000_000, 3, 0x5E12_FE02);
+    let mut node = bench_node();
+
+    let sample_every = 256usize;
+    let mut samples: Vec<(Instant, u64)> = Vec::with_capacity(n / sample_every + 1);
+    // (watermark, completion instant) per advance; watermarks increase.
+    let mut advances: Vec<(u64, Instant)> = Vec::new();
+    let mut next_advance = ADVANCE_EVERY_SECS;
+    let mut flows = 0u64;
+
+    let start = Instant::now();
+    for (i, p) in stream.iter().enumerate() {
+        node.ingest(p).expect("bench stream is never late");
+        if i % sample_every == 0 {
+            samples.push((Instant::now(), p.time));
+        }
+        if p.time >= next_advance {
+            let w = node.suggested_watermark();
+            node.advance_watermark(w).expect("healthy node");
+            flows += node.take_flows().expect("healthy node").len() as u64;
+            advances.push((w, Instant::now()));
+            next_advance = p.time + ADVANCE_EVERY_SECS;
+        }
+    }
+    let (final_flows, stats) = node.finish().expect("healthy node");
+    let end = Instant::now();
+    let total = end.duration_since(start);
+    flows += final_flows.len() as u64;
+    drop(final_flows);
+
+    // Classification latency per sample: first advance whose watermark
+    // passes time + FLOW_GAP_SECS; otherwise the final epoch close.
+    let mut latencies: Vec<u128> = samples
+        .iter()
+        .map(|&(ingested, sim_time)| {
+            let bound = sim_time + FLOW_GAP_SECS;
+            let k = advances.partition_point(|&(w, _)| w <= bound);
+            let closed_at = advances.get(k).map(|&(_, at)| at).unwrap_or(end);
+            closed_at.saturating_duration_since(ingested).as_nanos()
+        })
+        .collect();
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let pps = stats.packets as f64 / total.as_secs_f64();
+
+    eprintln!(
+        "serve probe: {} packets, {} flows, {:.0} packets/s sustained, \
+         latency p50 {:.1} ms / p99 {:.1} ms, peak open flows {}, peak pending {}",
+        stats.packets,
+        flows,
+        pps,
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        stats.peak_open_flows,
+        stats.peak_pending,
+    );
+    assert_eq!(stats.packets as usize, n);
+    assert_eq!(stats.late_packets, 0);
+
+    emit_line(
+        "serve_probe/sustained_3d_2m_victims",
+        total.as_nanos(),
+        &format!(",\"elements\":{n},\"packets_per_sec\":{pps:.0}"),
+    );
+    emit_line("serve_probe/latency_p50_intake_to_classification", p50, "");
+    emit_line("serve_probe/latency_p99_intake_to_classification", p99, "");
+    emit_line(
+        "serve_probe/steady_state_footprint",
+        0,
+        &format!(
+            ",\"peak_open_flows\":{},\"peak_pending_packets\":{},\"flows_closed\":{}",
+            stats.peak_open_flows, stats.peak_pending, flows
+        ),
+    );
+}
+
+bench_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stream_throughput, probe_multi_day_stream
+}
+bench_main!(benches);

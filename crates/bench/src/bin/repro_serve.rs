@@ -1,0 +1,99 @@
+//! Exercise the streaming ingest path end to end: run the full-packet
+//! measurement chain once through the batch in-memory pipeline and once
+//! through the `booters-serve` streaming node (sharded intake, watermark
+//! expiry, rolling warm-started refits), render Tables 1 and 2 from
+//! both, and write each rendering as its own artifact so the verify
+//! recipe can `cmp` them byte-for-byte.
+//!
+//! Usage: `cargo run --release -p booters-bench --bin repro_serve [scale]`
+
+use booters_bench::{pipeline_config, scale_from_args, write_artifact, REPRO_SEED};
+use booters_core::pipeline::{build_dataset_serve, fit_global};
+use booters_core::report::{table1, table2};
+use booters_core::scenario::{Fidelity, Scenario, ScenarioConfig};
+use booters_market::calibration::Calibration;
+use booters_market::market::MarketConfig;
+use booters_serve::ServeConfig;
+use std::time::Instant;
+
+fn serve_scenario_config(scale: f64) -> ScenarioConfig {
+    ScenarioConfig {
+        market: MarketConfig {
+            calibration: Calibration::default(),
+            scale,
+            seed: REPRO_SEED,
+            ..MarketConfig::default()
+        },
+        fidelity: Fidelity::FullPackets { per_week: 8 },
+        ..ScenarioConfig::default()
+    }
+}
+
+fn render(s: &Scenario) -> (String, String) {
+    let cal = Calibration::default();
+    let cfg = pipeline_config();
+    let t1 = table1(&fit_global(&s.honeypot, &cal, &cfg).expect("global fit"));
+    let t2 = table2(&s.honeypot, &cal, &cfg).expect("country fits");
+    (t1, t2)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("simulating full-packet scenario at scale {scale} ...");
+
+    let start = Instant::now();
+    let batch = Scenario::run(serve_scenario_config(scale));
+    let t_batch = start.elapsed().as_secs_f64();
+    let (t1_batch, t2_batch) = render(&batch);
+
+    let start = Instant::now();
+    let streamed = build_dataset_serve(serve_scenario_config(scale), ServeConfig::default())
+        .expect("streaming scenario");
+    let t_serve = start.elapsed().as_secs_f64();
+    let stats = streamed.serve_stats.clone().expect("serve path ran");
+    let (t1_serve, t2_serve) = render(&streamed);
+
+    assert_eq!(
+        t1_batch, t1_serve,
+        "streaming Table 1 must be byte-identical to the batch pipeline"
+    );
+    assert_eq!(
+        t2_batch, t2_serve,
+        "streaming Table 2 must be byte-identical to the batch pipeline"
+    );
+
+    let report = format!(
+        "streaming ingest: {} packets through {} shard(s), {} grouped, {} flows closed\n\
+         watermark: {} advances, {} weeks closed, {} epochs, 0 late packets required (got {})\n\
+         backpressure events: {}, peak open flows: {}, peak pending packets: {}\n\
+         rolling refits: {} warm / {} full ({} failures)\n\
+         wall time: batch {:.2}s vs streaming {:.2}s\n\
+         Tables 1 and 2 byte-identical across both paths: yes\n",
+        stats.packets,
+        std::env::var("BOOTERS_SERVE_SHARDS").unwrap_or_else(|_| "8".into()),
+        stats.grouped,
+        stats.flows_closed,
+        stats.watermark_advances,
+        stats.weeks_closed,
+        stats.epochs,
+        stats.late_packets,
+        stats.backpressure_events,
+        stats.peak_open_flows,
+        stats.peak_pending,
+        stats.refits_warm,
+        stats.refits_full,
+        stats.refit_failures,
+        t_batch,
+        t_serve,
+    );
+    assert_eq!(stats.late_packets, 0);
+    assert!(stats.weeks_closed >= 3, "expected real week closes");
+
+    println!("{report}");
+    println!("{t1_serve}");
+    write_artifact("table1.batch.txt", &t1_batch);
+    write_artifact("table1.serve.txt", &t1_serve);
+    write_artifact("table2.batch.txt", &t2_batch);
+    write_artifact("table2.serve.txt", &t2_serve);
+    write_artifact("serve.txt", &report);
+}

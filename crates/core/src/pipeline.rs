@@ -212,8 +212,24 @@ pub fn fit_series(
 pub fn build_dataset_store(
     mut config: crate::scenario::ScenarioConfig,
     spill: booters_store::SpillConfig,
-) -> Result<crate::scenario::Scenario, booters_store::StoreError> {
+) -> Result<crate::scenario::Scenario, crate::scenario::ScenarioError> {
     config.store = Some(spill);
+    crate::scenario::Scenario::try_run(config)
+}
+
+/// Streaming dataset builder: run `config` with every full-packet week
+/// streamed through one long-running `booters-serve` node — sharded
+/// intake, watermark-driven incremental grouping, an epoch close per
+/// week, rolling warm-started NB2 refits. The returned scenario — and
+/// therefore every table fitted from it — is **byte-identical** to
+/// `Scenario::run(config)` without a streaming backend (golden-tested
+/// in `tests/serve_equivalence.rs`, across threads and kernel
+/// selections). `serve_stats` on the result records the intake work.
+pub fn build_dataset_serve(
+    mut config: crate::scenario::ScenarioConfig,
+    serve: booters_serve::ServeConfig,
+) -> Result<crate::scenario::Scenario, crate::scenario::ScenarioError> {
+    config.serve = Some(serve);
     crate::scenario::Scenario::try_run(config)
 }
 

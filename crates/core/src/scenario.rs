@@ -24,11 +24,51 @@ use booters_netsim::flow::{FlowClass, VictimKey};
 use booters_netsim::{
     group_flows_par, AttackCommand, Country, Engine, EngineConfig, UdpProtocol, VictimAddr,
 };
+use booters_serve::{ServeConfig, ServeError, ServeNode, ServeStats};
 use booters_store::{SpillConfig, SpillGrouper, SpillStats, StoreError};
 use booters_timeseries::Date;
 use booters_testkit::rngs::StdRng;
 use booters_testkit::SeedableRng;
 use std::collections::BTreeMap;
+
+/// A scenario run failure: either backing subsystem can refuse.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The on-disk spill store failed (I/O, corruption).
+    Store(StoreError),
+    /// The streaming ingest service failed (late packet, shard panic).
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Store(e) => write!(f, "scenario store backend: {e}"),
+            ScenarioError::Serve(e) => write!(f, "scenario streaming backend: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Store(e) => Some(e),
+            ScenarioError::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for ScenarioError {
+    fn from(e: StoreError) -> Self {
+        ScenarioError::Store(e)
+    }
+}
+
+impl From<ServeError> for ScenarioError {
+    fn from(e: ServeError) -> Self {
+        ScenarioError::Serve(e)
+    }
+}
 
 /// Observation fidelity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +108,15 @@ pub struct ScenarioConfig {
     /// count — only the memory ceiling changes. Ignored by the other
     /// fidelities (they never materialise packets).
     pub store: Option<SpillConfig>,
+    /// When set (and `store` is not), [`Fidelity::FullPackets`] weeks
+    /// stream their packet batches through one long-running
+    /// [`booters_serve::ServeNode`]: sharded intake, watermark-driven
+    /// incremental grouping, an epoch close per week, and rolling
+    /// warm-started NB2 refits as each week's watermark lands. The
+    /// resulting datasets are byte-identical to the in-memory path at
+    /// every shard/queue/thread/kernel setting (golden-tested in
+    /// `tests/serve_equivalence.rs`). Ignored by the other fidelities.
+    pub serve: Option<ServeConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -79,6 +128,7 @@ impl Default for ScenarioConfig {
             observe_seed: 0x0B5E,
             selfreport_start: Date::new(2017, 11, 6),
             store: None,
+            serve: None,
         }
     }
 }
@@ -99,21 +149,27 @@ pub struct Scenario {
     /// `None` when the in-memory path ran (no `store` configured or the
     /// fidelity never materialises packets).
     pub store_stats: Option<SpillStats>,
+    /// Streaming-ingest counters from the long-running serve node;
+    /// `None` unless the streaming backend ran (`serve` configured with
+    /// [`Fidelity::FullPackets`]).
+    pub serve_stats: Option<ServeStats>,
 }
 
 impl Scenario {
     /// Run a scenario to completion.
     ///
     /// # Panics
-    /// If a configured on-disk store fails (spill-file I/O); use
-    /// [`Scenario::try_run`] to handle [`StoreError`] instead. Without a
-    /// `store` configured this never panics.
+    /// If a configured on-disk store fails (spill-file I/O) or a
+    /// configured streaming backend fails; use [`Scenario::try_run`] to
+    /// handle [`ScenarioError`] instead. Without a `store` or `serve`
+    /// backend configured this never panics.
     pub fn run(config: ScenarioConfig) -> Scenario {
-        Scenario::try_run(config).expect("scenario spill store failed")
+        Scenario::try_run(config).expect("scenario backend failed")
     }
 
-    /// Run a scenario to completion, surfacing store errors.
-    pub fn try_run(config: ScenarioConfig) -> Result<Scenario, StoreError> {
+    /// Run a scenario to completion, surfacing store and streaming
+    /// backend errors.
+    pub fn try_run(config: ScenarioConfig) -> Result<Scenario, ScenarioError> {
         booters_obs::span!("simulate");
         let cal_start = config.market.calibration.scenario_start;
         let cal_end = config.market.calibration.scenario_end;
@@ -133,6 +189,19 @@ impl Scenario {
 
         let mut weeks = Vec::with_capacity(n_weeks_total);
         let mut store_stats: Option<SpillStats> = None;
+        // One long-running streaming node for the whole scenario: flows
+        // and weekly refits accumulate across weeks, exactly as a live
+        // deployment would see them. The store backend wins if both are
+        // configured (they are alternative full-packet sinks).
+        let mut serve_node: Option<ServeNode> = match (&config.store, &config.serve) {
+            (None, Some(sc)) => Some(ServeNode::new(ServeConfig {
+                // Stream time 0 is the scenario start; anchor the
+                // rolling weekly model there.
+                epoch_start: cal_start,
+                ..sc.clone()
+            })),
+            _ => None,
+        };
         while let Some(out) = sim.step() {
             let monday = out.monday;
 
@@ -154,14 +223,18 @@ impl Scenario {
                 Fidelity::FullPackets { per_week } => {
                     let booters_now = sim.population().booters();
                     let cmds = commands_for_week(&out, booters_now, &mut rng, per_week);
-                    match &config.store {
-                        Some(spill) => {
+                    match (&config.store, &mut serve_node) {
+                        (Some(spill), _) => {
                             let (rate, stats) =
                                 full_packet_rate_store(&mut engine, &cmds, spill.clone())?;
                             store_stats.get_or_insert_with(SpillStats::default).absorb(&stats);
                             rate
                         }
-                        None => full_packet_rate(&mut engine, &cmds),
+                        (None, Some(node)) => {
+                            let week_end = (out.week as u64 + 1) * 7 * 86_400;
+                            full_packet_rate_serve(&mut engine, &cmds, node, week_end)?
+                        }
+                        (None, None) => full_packet_rate(&mut engine, &cmds),
                     }
                 }
             };
@@ -224,6 +297,7 @@ impl Scenario {
             },
             weeks,
             store_stats,
+            serve_stats: serve_node.map(|n| n.stats()),
         })
     }
 }
@@ -313,6 +387,39 @@ fn full_packet_rate_store(
         .filter(|f| f.classify() == FlowClass::Attack)
         .count();
     Ok(((attacks as f64 / cmds.len() as f64).min(1.0), out.stats))
+}
+
+/// Streaming twin of [`full_packet_rate`]: the engine streams the batch
+/// into the long-running [`ServeNode`] sink (sharded intake, watermark
+/// grouping), and closing the week's epoch yields the flows. The batch
+/// pipeline groups each full-packet week in isolation, so an epoch
+/// close per week makes the streamed flow sets — and every rate and
+/// table derived from them — byte-identical to the in-memory path
+/// (DESIGN.md §5g). The watermark lands on the week boundary, closing
+/// the week for the node's rolling warm-started refit.
+fn full_packet_rate_serve(
+    engine: &mut Engine,
+    cmds: &[AttackCommand],
+    node: &mut ServeNode,
+    week_end: u64,
+) -> Result<f64, ServeError> {
+    if !cmds.is_empty() {
+        engine.simulate_attacks_batch_into(cmds, node);
+        if let Some(e) = node.sink_error() {
+            return Err(e.clone());
+        }
+    }
+    booters_obs::span!("group");
+    let flows = node.close_epoch_at(week_end)?;
+    if cmds.is_empty() {
+        // Mirror full_packet_rate's empty-week convention exactly.
+        return Ok(1.0);
+    }
+    let attacks = flows
+        .iter()
+        .filter(|f| f.classify() == FlowClass::Attack)
+        .count();
+    Ok((attacks as f64 / cmds.len() as f64).min(1.0))
 }
 
 #[cfg(test)]
@@ -420,6 +527,64 @@ mod tests {
         {
             assert_eq!(a.values(), b.values());
         }
+    }
+
+    #[test]
+    fn serve_backed_full_packets_matches_in_memory_bit_for_bit() {
+        let mut cfg = small_config(Fidelity::FullPackets { per_week: 40 });
+        // Short window: 8 weeks (as the in-memory full-packet test).
+        cfg.market.calibration.scenario_start = Date::new(2018, 9, 3);
+        cfg.market.calibration.scenario_end = Date::new(2018, 10, 29);
+        let baseline = Scenario::run(cfg.clone());
+        assert!(baseline.serve_stats.is_none());
+
+        let mut serve_cfg = cfg;
+        serve_cfg.serve = Some(ServeConfig {
+            shards: 3,
+            queue_capacity: 64, // tiny: intake backpressure must engage
+            ..ServeConfig::default()
+        });
+        let s = Scenario::run(serve_cfg);
+        let stats = s.serve_stats.expect("streaming path ran");
+        assert!(stats.packets > 0);
+        assert_eq!(stats.grouped, stats.packets, "every packet was grouped");
+        assert!(stats.weeks_closed >= 8, "weeks_closed={}", stats.weeks_closed);
+        assert!(stats.epochs >= 8, "epochs={}", stats.epochs);
+        assert!(
+            stats.backpressure_events > 0,
+            "tiny queues should exercise typed backpressure"
+        );
+        assert_eq!(stats.late_packets, 0);
+        assert_eq!(s.honeypot.global.values(), baseline.honeypot.global.values());
+        assert_eq!(
+            s.ground_truth.global.values(),
+            baseline.ground_truth.global.values()
+        );
+        for (a, b) in s
+            .honeypot
+            .by_protocol
+            .iter()
+            .zip(baseline.honeypot.by_protocol.iter())
+        {
+            assert_eq!(a.values(), b.values());
+        }
+    }
+
+    #[test]
+    fn serve_shard_fault_surfaces_as_a_typed_scenario_error() {
+        let mut cfg = small_config(Fidelity::FullPackets { per_week: 4 });
+        cfg.market.calibration.scenario_start = Date::new(2018, 9, 3);
+        cfg.market.calibration.scenario_end = Date::new(2018, 9, 17);
+        cfg.serve = Some(ServeConfig {
+            shards: 2,
+            fault_panic_shard: Some(0),
+            ..ServeConfig::default()
+        });
+        let err = Scenario::try_run(cfg).map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, ScenarioError::Serve(ServeError::ShardPanic { shard: 0 })),
+            "expected a typed shard panic, got {err:?}"
+        );
     }
 
     #[test]

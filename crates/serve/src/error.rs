@@ -1,0 +1,65 @@
+//! Typed errors for the streaming intake path.
+//!
+//! Every way the service can refuse work is a value, not a panic or a
+//! silent drop: backpressure when a ring is full, a late packet that
+//! violates the watermark contract, and a shard worker that panicked
+//! mid-drain. Once a shard has panicked the node is poisoned — its
+//! grouping state may be mid-update — so every later call reports
+//! [`ServeError::Poisoned`] instead of emitting possibly-corrupt flows.
+
+use std::fmt;
+
+/// An intake-path failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A shard's bounded ring queue is full. The offered packet was
+    /// **not** consumed; drain (advance the watermark or call
+    /// [`crate::ServeNode::drain_intake`]) and retry.
+    Backpressure {
+        /// Shard whose queue is full.
+        shard: usize,
+        /// The queue's fixed capacity.
+        capacity: usize,
+    },
+    /// A packet arrived with `time` below the current watermark,
+    /// violating the caller's ordering promise. The packet was rejected
+    /// — accepting it could silently corrupt already-expired flows.
+    LateArrival {
+        /// The offending packet's timestamp.
+        time: u64,
+        /// The watermark it fell behind.
+        watermark: u64,
+    },
+    /// A shard worker panicked while draining. The panic was contained
+    /// and turned into this error; the node is poisoned afterwards.
+    ShardPanic {
+        /// Shard whose worker panicked.
+        shard: usize,
+    },
+    /// The node was poisoned by an earlier [`ServeError::ShardPanic`]
+    /// and refuses to group or emit anything further.
+    Poisoned,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Backpressure { shard, capacity } => write!(
+                f,
+                "shard {shard} intake queue full (capacity {capacity}): backpressure, retry after draining"
+            ),
+            ServeError::LateArrival { time, watermark } => write!(
+                f,
+                "packet time {time} is behind the watermark {watermark}: late arrival rejected"
+            ),
+            ServeError::ShardPanic { shard } => {
+                write!(f, "shard {shard} worker panicked while draining")
+            }
+            ServeError::Poisoned => {
+                write!(f, "serve node poisoned by an earlier shard panic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,144 @@
+//! Bounded single-producer/single-consumer ring queue of packets.
+//!
+//! One ring sits in front of every intake shard. The bound is the whole
+//! point: a full ring surfaces as typed backpressure
+//! ([`crate::ServeError::Backpressure`]) at the offer site instead of
+//! unbounded buffering or a silent drop. Producer and consumer are
+//! never concurrent here — the node offers and drains under the shard's
+//! lock — so the ring is plain modular arithmetic over a fixed slab,
+//! with no atomics to reason about.
+
+use booters_netsim::{SensorPacket, UdpProtocol, VictimAddr};
+
+/// A packet slot that has never been written. Slots are pre-filled so
+/// pushes and pops are pure index arithmetic; the placeholder is never
+/// observable (len tracks the live region exactly).
+const EMPTY_SLOT: SensorPacket = SensorPacket {
+    time: 0,
+    sensor: 0,
+    victim: VictimAddr(0),
+    protocol: UdpProtocol::ALL[0],
+    ttl: 0,
+    src_port: 0,
+};
+
+/// Fixed-capacity FIFO ring of [`SensorPacket`]s.
+#[derive(Debug)]
+pub struct RingQueue {
+    slots: Box<[SensorPacket]>,
+    /// Index of the oldest element, in `[0, capacity)`.
+    head: usize,
+    len: usize,
+}
+
+impl RingQueue {
+    /// New empty ring holding at most `capacity` packets (min 1).
+    pub fn with_capacity(capacity: usize) -> RingQueue {
+        let capacity = capacity.max(1);
+        RingQueue {
+            slots: vec![EMPTY_SLOT; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Packets currently queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the next push would be refused.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// Enqueue one packet, or give it back when the ring is full.
+    pub fn try_push(&mut self, p: SensorPacket) -> Result<(), SensorPacket> {
+        if self.is_full() {
+            return Err(p);
+        }
+        let tail = (self.head + self.len) % self.slots.len();
+        self.slots[tail] = p;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Dequeue the oldest packet.
+    pub fn pop(&mut self) -> Option<SensorPacket> {
+        if self.len == 0 {
+            return None;
+        }
+        let p = self.slots[self.head];
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        Some(p)
+    }
+
+    /// Move every queued packet into `out`, oldest first.
+    pub fn drain_into(&mut self, out: &mut Vec<SensorPacket>) {
+        out.reserve(self.len);
+        while let Some(p) = self.pop() {
+            out.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(time: u64) -> SensorPacket {
+        SensorPacket {
+            time,
+            sensor: 7,
+            victim: VictimAddr(42),
+            protocol: UdpProtocol::ALL[1],
+            ttl: 64,
+            src_port: 123,
+        }
+    }
+
+    #[test]
+    fn fifo_order_survives_wraparound() {
+        let mut q = RingQueue::with_capacity(3);
+        for round in 0..5u64 {
+            assert!(q.try_push(pkt(round * 10)).is_ok());
+            assert!(q.try_push(pkt(round * 10 + 1)).is_ok());
+            assert_eq!(q.pop().unwrap().time, round * 10);
+            assert_eq!(q.pop().unwrap().time, round * 10 + 1);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_ring_refuses_and_returns_the_packet() {
+        let mut q = RingQueue::with_capacity(2);
+        assert!(q.try_push(pkt(1)).is_ok());
+        assert!(q.try_push(pkt(2)).is_ok());
+        assert!(q.is_full());
+        let rejected = q.try_push(pkt(3)).unwrap_err();
+        assert_eq!(rejected.time, 3, "the refused packet comes back intact");
+        assert_eq!(q.len(), 2, "refusal does not disturb queued packets");
+        let mut out = Vec::new();
+        q.drain_into(&mut out);
+        assert_eq!(out.iter().map(|p| p.time).collect::<Vec<_>>(), [1, 2]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut q = RingQueue::with_capacity(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(pkt(9)).is_ok());
+        assert!(q.try_push(pkt(10)).is_err());
+    }
+}

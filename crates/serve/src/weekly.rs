@@ -1,0 +1,312 @@
+//! Rolling weekly aggregation and warm-started NB2 refits.
+//!
+//! As the watermark walks forward, closed attack flows accumulate into
+//! per-week counts ([`WeeklyRoller`]). Every time a week closes, the
+//! service refits the paper's NB2 count model to the counts so far
+//! ([`RollingFitter`]) — and because consecutive weeks differ by one
+//! observation, the refit continues from the previous coefficients via
+//! [`WarmStart::Beta`] at the previous dispersion instead of starting
+//! cold. A periodic full profile-α search (every
+//! [`RefitPolicy::full_every`] refits) re-estimates the dispersion so
+//! the warm path cannot drift.
+//!
+//! The rolling fit is an *online estimate*: it sees each week's counts
+//! as they stood when the watermark closed that week. The byte-identical
+//! Tables 1/2 goldens come from the closed-epoch flows fed to the
+//! standard offline pipeline — the roller never feeds back into them.
+
+use booters_glm::{
+    fit_irls_into, fit_negbin_with, GlmError, IrlsWorkspace, LogLink, NegBin2, NegBinOptions,
+    WarmStart,
+};
+use booters_timeseries::design::{its_design, DesignConfig};
+use booters_timeseries::{Date, WeeklySeries};
+
+/// Per-week closed-flow counts, indexed by `flow.start / WEEK_SECS`.
+#[derive(Debug, Default, Clone)]
+pub struct WeeklyRoller {
+    attacks: Vec<u64>,
+    scans: Vec<u64>,
+}
+
+impl WeeklyRoller {
+    /// New empty roller.
+    pub fn new() -> WeeklyRoller {
+        WeeklyRoller::default()
+    }
+
+    /// Record one closed flow in week `week`.
+    pub fn record(&mut self, week: usize, is_attack: bool) {
+        if self.attacks.len() <= week {
+            self.attacks.resize(week + 1, 0);
+            self.scans.resize(week + 1, 0);
+        }
+        if is_attack {
+            self.attacks[week] += 1;
+        } else {
+            self.scans[week] += 1;
+        }
+    }
+
+    /// Make sure weeks `0..n` exist (zero-filled), so a quiet week still
+    /// contributes an observation to the rolling fit.
+    pub fn ensure_weeks(&mut self, n: usize) {
+        if self.attacks.len() < n {
+            self.attacks.resize(n, 0);
+            self.scans.resize(n, 0);
+        }
+    }
+
+    /// Attack-flow counts per week.
+    pub fn attacks(&self) -> &[u64] {
+        &self.attacks
+    }
+
+    /// Scan-flow counts per week.
+    pub fn scans(&self) -> &[u64] {
+        &self.scans
+    }
+}
+
+/// When and how the rolling NB2 model is refit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefitPolicy {
+    /// Master switch; off means the service only aggregates.
+    pub enabled: bool,
+    /// Weeks of data required before the first fit (must exceed the
+    /// design's column count).
+    pub min_weeks: usize,
+    /// Run a full profile-α search every this many refits; in between,
+    /// a single warm-started IRLS solve at the last α suffices.
+    pub full_every: u64,
+    /// Include the 11 monthly seasonal dummies. Off by default: a young
+    /// stream has not seen every month, and an all-zero dummy column
+    /// would make the design singular.
+    pub seasonal: bool,
+}
+
+impl Default for RefitPolicy {
+    fn default() -> Self {
+        RefitPolicy {
+            enabled: true,
+            min_weeks: 8,
+            full_every: 8,
+            seasonal: false,
+        }
+    }
+}
+
+/// One rolling model state: the most recent converged NB2 fit.
+#[derive(Debug, Clone)]
+pub struct RollingFit {
+    /// Coefficients, one per design column.
+    pub beta: Vec<f64>,
+    /// NB2 dispersion α in force for this fit.
+    pub alpha: f64,
+    /// Log-likelihood at convergence.
+    pub log_likelihood: f64,
+    /// Weeks of data the fit saw.
+    pub weeks: usize,
+    /// Whether this fit continued from the previous β (warm) or ran the
+    /// full profile search (cold/full).
+    pub warm: bool,
+}
+
+/// Refits the weekly NB2 trend model as weeks close, warm-starting each
+/// solve from its predecessor.
+#[derive(Debug)]
+pub struct RollingFitter {
+    policy: RefitPolicy,
+    start: Date,
+    options: NegBinOptions,
+    ws: IrlsWorkspace,
+    last: Option<RollingFit>,
+    /// Warm-started refits performed.
+    pub warm_refits: u64,
+    /// Full profile-α refits performed.
+    pub full_refits: u64,
+    /// Refits that failed to converge (the previous fit is kept).
+    pub failures: u64,
+}
+
+impl RollingFitter {
+    /// New fitter for a stream whose week 0 begins at `start`.
+    pub fn new(start: Date, policy: RefitPolicy) -> RollingFitter {
+        RollingFitter {
+            policy,
+            start,
+            options: NegBinOptions::default(),
+            ws: IrlsWorkspace::new(),
+            last: None,
+            warm_refits: 0,
+            full_refits: 0,
+            failures: 0,
+        }
+    }
+
+    /// The most recent converged fit, if any.
+    pub fn last_fit(&self) -> Option<&RollingFit> {
+        self.last.as_ref()
+    }
+
+    /// Refit on `counts` (one closed week per entry). Returns the new
+    /// fit, `Ok(None)` when policy says not yet, and the error when
+    /// even the cold path fails (the previous fit is retained).
+    pub fn refit(&mut self, counts: &[u64]) -> Result<Option<&RollingFit>, GlmError> {
+        if !self.policy.enabled || counts.len() < self.policy.min_weeks.max(3) {
+            return Ok(None);
+        }
+        booters_obs::span!("serve.refit");
+        let series =
+            WeeklySeries::from_values(self.start, counts.iter().map(|&c| c as f64).collect());
+        let design_cfg = DesignConfig {
+            seasonal: self.policy.seasonal,
+            easter: false,
+            ..DesignConfig::default()
+        };
+        let design = its_design(&series, &[], &design_cfg);
+        let y: Vec<f64> = series.values().to_vec();
+
+        let total = self.warm_refits + self.full_refits;
+        let full_due = self.policy.full_every > 0 && total % self.policy.full_every == 0;
+        if !full_due {
+            if let Some(prev) = &self.last {
+                if prev.beta.len() == design.x.cols() {
+                    let family = NegBin2::new(prev.alpha);
+                    let warm = fit_irls_into(
+                        &mut self.ws,
+                        &design.x,
+                        &y,
+                        None,
+                        &family,
+                        &LogLink,
+                        &self.options.irls,
+                        WarmStart::Beta(&prev.beta),
+                    );
+                    if warm.is_ok() {
+                        self.warm_refits += 1;
+                        booters_obs::counter_add("serve.refits_warm", 1);
+                        self.last = Some(RollingFit {
+                            beta: self.ws.beta().to_vec(),
+                            alpha: prev.alpha,
+                            log_likelihood: self.ws.log_likelihood(),
+                            weeks: counts.len(),
+                            warm: true,
+                        });
+                        return Ok(self.last.as_ref());
+                    }
+                    // Warm continuation diverged: fall through to the
+                    // full search rather than give up.
+                }
+            }
+        }
+        match fit_negbin_with(&mut self.ws, &design.x, &y, &design.names, &self.options) {
+            Ok(fit) => {
+                self.full_refits += 1;
+                booters_obs::counter_add("serve.refits_full", 1);
+                self.last = Some(RollingFit {
+                    beta: fit.fit.beta.clone(),
+                    alpha: fit.alpha,
+                    log_likelihood: fit.log_likelihood,
+                    weeks: counts.len(),
+                    warm: false,
+                });
+                Ok(self.last.as_ref())
+            }
+            Err(e) => {
+                self.failures += 1;
+                booters_obs::counter_add("serve.refit_failures", 1);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(n: usize) -> Vec<u64> {
+        // A gently trending, overdispersed-looking weekly series.
+        (0..n)
+            .map(|i| 20 + (i as u64 % 7) * 3 + i as u64 / 2)
+            .collect()
+    }
+
+    #[test]
+    fn roller_accumulates_and_zero_fills() {
+        let mut r = WeeklyRoller::new();
+        r.record(2, true);
+        r.record(2, true);
+        r.record(0, false);
+        r.ensure_weeks(5);
+        assert_eq!(r.attacks(), &[0, 0, 2, 0, 0]);
+        assert_eq!(r.scans(), &[1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn warm_refits_continue_from_the_previous_beta() {
+        let mut f = RollingFitter::new(Date::new(2018, 6, 4), RefitPolicy::default());
+        assert!(f.refit(&counts(3)).unwrap().is_none(), "below min_weeks");
+        let mut last_ll = f64::NEG_INFINITY;
+        for n in 8..20 {
+            let fit = f.refit(&counts(n)).unwrap().expect("enough weeks").clone();
+            assert_eq!(fit.weeks, n);
+            assert!(fit.log_likelihood.is_finite());
+            last_ll = fit.log_likelihood;
+        }
+        assert!(last_ll.is_finite());
+        assert!(f.full_refits >= 1, "first fit runs the full search");
+        assert!(f.warm_refits >= 8, "later weeks warm-start");
+        assert_eq!(f.failures, 0);
+
+        // The warm continuation must land on the same optimum a cold
+        // solve finds at the same α on the same data.
+        let warm_fit = f.last_fit().expect("has fit").clone();
+        let series = WeeklySeries::from_values(
+            Date::new(2018, 6, 4),
+            counts(19).iter().map(|&c| c as f64).collect(),
+        );
+        let design = its_design(
+            &series,
+            &[],
+            &DesignConfig {
+                seasonal: false,
+                easter: false,
+                ..DesignConfig::default()
+            },
+        );
+        let mut ws = IrlsWorkspace::new();
+        fit_irls_into(
+            &mut ws,
+            &design.x,
+            series.values(),
+            None,
+            &NegBin2::new(warm_fit.alpha),
+            &LogLink,
+            &NegBinOptions::default().irls,
+            WarmStart::Cold,
+        )
+        .expect("cold solve converges");
+        assert_eq!(warm_fit.beta.len(), ws.beta().len());
+        for (w, c) in warm_fit.beta.iter().zip(ws.beta()) {
+            assert!(
+                (w - c).abs() < 1e-6,
+                "warm-started β strayed from the cold solve: {w} vs {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_policy_never_fits() {
+        let mut f = RollingFitter::new(
+            Date::new(2018, 6, 4),
+            RefitPolicy {
+                enabled: false,
+                ..RefitPolicy::default()
+            },
+        );
+        assert!(f.refit(&counts(40)).unwrap().is_none());
+        assert!(f.last_fit().is_none());
+    }
+}

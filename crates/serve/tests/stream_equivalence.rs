@@ -1,0 +1,290 @@
+//! Streaming-vs-batch flow equivalence: the tentpole property suite.
+//!
+//! The watermark contract (DESIGN.md §5g) says a [`ServeNode`] fed *any*
+//! packet interleaving that respects the watermark — every packet offered
+//! before the watermark passes its timestamp — must close exactly the
+//! flows the batch grouper ([`group_flows_par`]) produces on the
+//! time-sorted trace, regardless of shard count, ring capacity, arrival
+//! jitter, or where the watermark-advance (flush) boundaries land.
+//!
+//! The generator is adversarial on purpose: tight victim/protocol ranges
+//! force key collisions and duplicate whole packets, times cluster around
+//! week boundaries so flows straddle them, and per-packet arrival jitter
+//! reorders the stream within the watermark bound.
+
+use booters_netsim::{group_flows_par, Flow, FlowClass, SensorPacket, UdpProtocol, VictimAddr, VictimKey};
+use booters_serve::{RefitPolicy, ServeConfig, ServeNode, WEEK_SECS};
+use booters_testkit::strategy::prop;
+use booters_testkit::{forall, prop_assert, prop_assert_eq, Strategy};
+
+const HALF_WEEK: u64 = WEEK_SECS / 2;
+
+/// One adversarial packet: times cluster every half-week with offsets
+/// that straddle the cluster point (so some clusters sit exactly on week
+/// boundaries), and victim/protocol ranges are tight enough that flows
+/// collide, extend, and repeat whole packets.
+fn packet() -> impl Strategy<Value = SensorPacket> {
+    (
+        0u64..6,     // cluster: points at 0, w/2, w, 3w/2, 2w, 5w/2
+        0u64..4_000, // offset within the cluster (re-centred below)
+        0u32..4,     // sensor
+        0u32..6,     // victim
+        0usize..3,   // protocol
+    )
+        .prop_map(|(cluster, off, sensor, victim, proto)| SensorPacket {
+            time: (cluster * HALF_WEEK + off).saturating_sub(2_000),
+            sensor,
+            victim: VictimAddr(victim),
+            protocol: UdpProtocol::ALL[proto],
+            ttl: 64,
+            src_port: 0,
+        })
+}
+
+/// One stream event: a packet, its arrival jitter (how far past its
+/// timestamp it shows up, relative to other packets), and a gate byte
+/// deciding whether the watermark advances / the intake drains after it.
+fn stream(max: usize) -> impl Strategy<Value = Vec<(SensorPacket, u64, u8)>> {
+    prop::collection::vec((packet(), 0u64..1_200, 0u8..8), 0..max)
+}
+
+/// The batch oracle: stable time sort (exactly what the engine's
+/// `simulate_attacks_batch` does), then the parallel batch grouper.
+fn batch_reference(events: &[(SensorPacket, u64, u8)], key: VictimKey) -> Vec<Flow> {
+    let mut sorted: Vec<SensorPacket> = events.iter().map(|e| e.0).collect();
+    sorted.sort_by_key(|p| p.time);
+    group_flows_par(&sorted, key)
+}
+
+/// Feed the events through a [`ServeNode`] in jittered arrival order with
+/// a gate-driven advance/drain schedule that respects the watermark
+/// contract: after event `j`, the watermark may move up to the minimum
+/// true timestamp among the not-yet-offered packets.
+fn run_stream(
+    events: &[(SensorPacket, u64, u8)],
+    key: VictimKey,
+    shards: usize,
+    queue_capacity: usize,
+) -> (Vec<Flow>, booters_serve::ServeStats) {
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| events[i].0.time + events[i].1);
+    let mut suffix_min = vec![u64::MAX; order.len() + 1];
+    for j in (0..order.len()).rev() {
+        suffix_min[j] = suffix_min[j + 1].min(events[order[j]].0.time);
+    }
+    let mut node = ServeNode::new(ServeConfig {
+        shards,
+        queue_capacity,
+        key,
+        refit: RefitPolicy {
+            enabled: false,
+            ..RefitPolicy::default()
+        },
+        ..ServeConfig::default()
+    });
+    for (j, &i) in order.iter().enumerate() {
+        node.ingest(&events[i].0).expect("lawful packet rejected");
+        match events[i].2 {
+            0 if suffix_min[j + 1] != u64::MAX => {
+                // Advance to the exact lawful bound — the tightest flush.
+                node.advance_watermark(suffix_min[j + 1])
+                    .expect("lawful advance rejected");
+            }
+            1 => node.drain_intake(),
+            _ => {}
+        }
+    }
+    node.finish().expect("fault-free stream failed")
+}
+
+forall! {
+    #![cases(96)]
+
+    fn arbitrary_interleavings_and_flush_boundaries_match_batch(
+        events in stream(160),
+        shards in 1usize..=4,
+        queue in 1usize..=32,
+    ) {
+        let expected = batch_reference(&events, VictimKey::ByIp);
+        let (flows, stats) = run_stream(&events, VictimKey::ByIp, shards, queue);
+        prop_assert_eq!(&flows, &expected);
+        prop_assert_eq!(stats.packets as usize, events.len());
+        prop_assert_eq!(stats.grouped, stats.packets);
+        prop_assert_eq!(stats.flows_closed, flows.len() as u64);
+        prop_assert_eq!(stats.late_packets, 0);
+    }
+
+    fn prefix24_keying_streams_like_batch(events in stream(120), shards in 1usize..=3) {
+        // Same contract under the carpet-bombing key: canonicalisation
+        // happens before sharding, so /24 siblings land on one shard.
+        let expected = batch_reference(&events, VictimKey::ByPrefix24);
+        let (flows, _) = run_stream(&events, VictimKey::ByPrefix24, shards, 8);
+        prop_assert_eq!(flows, expected);
+    }
+
+    fn classification_is_interleaving_invariant(events in stream(120), shards in 1usize..=4) {
+        // Not just the flows: the downstream attack/scan verdicts — the
+        // thing the weekly tables count — must survive any interleaving.
+        let expected: Vec<FlowClass> = batch_reference(&events, VictimKey::ByIp)
+            .iter()
+            .map(Flow::classify)
+            .collect();
+        let (flows, _) = run_stream(&events, VictimKey::ByIp, shards, 4);
+        let got: Vec<FlowClass> = flows.iter().map(Flow::classify).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    fn single_key_burst_at_the_classification_edge(
+        n in 1usize..=12,
+        spread in 0u64..900,
+        two_sensors in 0u32..2,
+        jitters in prop::collection::vec(0u64..1_200, 12),
+        gates in prop::collection::vec(0u8..8, 12),
+    ) {
+        // Satellite 1's sharpest corner: one victim/protocol key, n
+        // packets inside one gap window, right at the >5-packet
+        // attack/scan threshold (n == 5 scans, n == 6 attacks when one
+        // sensor sees them all; splitting across sensors flips it back).
+        let events: Vec<(SensorPacket, u64, u8)> = (0..n)
+            .map(|i| {
+                (
+                    SensorPacket {
+                        time: WEEK_SECS - 400 + (i as u64 * spread) / n as u64,
+                        sensor: (i as u32) % (1 + two_sensors),
+                        victim: VictimAddr(7),
+                        protocol: UdpProtocol::ALL[0],
+                        ttl: 64,
+                        src_port: 0,
+                    },
+                    jitters[i],
+                    gates[i],
+                )
+            })
+            .collect();
+        let expected = batch_reference(&events, VictimKey::ByIp);
+        let (flows, _) = run_stream(&events, VictimKey::ByIp, 2, 4);
+        prop_assert_eq!(&flows, &expected);
+        prop_assert!(flows.len() == 1, "one key, one gap window => one flow");
+        let expect_attack = flows[0].max_sensor_packets() > 5;
+        prop_assert_eq!(
+            flows[0].classify() == FlowClass::Attack,
+            expect_attack
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic adversarial cases (satellite 1's named stream shapes)
+// ---------------------------------------------------------------------------
+
+fn pkt(time: u64, sensor: u32, victim: u32) -> SensorPacket {
+    SensorPacket {
+        time,
+        sensor,
+        victim: VictimAddr(victim),
+        protocol: UdpProtocol::ALL[0],
+        ttl: 64,
+        src_port: 0,
+    }
+}
+
+fn node_for_test() -> ServeNode {
+    ServeNode::new(ServeConfig {
+        shards: 2,
+        queue_capacity: 4,
+        refit: RefitPolicy {
+            enabled: false,
+            ..RefitPolicy::default()
+        },
+        ..ServeConfig::default()
+    })
+}
+
+#[test]
+fn a_flow_straddling_a_week_boundary_survives_a_boundary_advance() {
+    // Two packets 200 s apart (inside the 900 s gap) on opposite sides of
+    // the week boundary, with the watermark advanced to exactly the
+    // boundary in between: still one flow.
+    let mut node = node_for_test();
+    node.ingest(&pkt(WEEK_SECS - 100, 0, 1)).unwrap();
+    node.advance_watermark(WEEK_SECS).unwrap();
+    node.ingest(&pkt(WEEK_SECS + 100, 1, 1)).unwrap();
+    let (flows, stats) = node.finish().unwrap();
+    assert_eq!(flows.len(), 1);
+    assert_eq!(flows[0].start, WEEK_SECS - 100);
+    assert_eq!(flows[0].end, WEEK_SECS + 100);
+    assert_eq!(flows[0].total_packets, 2);
+    assert_eq!(stats.late_packets, 0);
+}
+
+#[test]
+fn duplicate_timestamps_group_identically_to_batch() {
+    // The degenerate stream: one packet value repeated, chunked by
+    // advances at its own timestamp (lawful: late means strictly less).
+    let events: Vec<(SensorPacket, u64, u8)> =
+        (0..20).map(|i| (pkt(5_000, i % 3, 9), 0, 0)).collect();
+    let expected = batch_reference(&events, VictimKey::ByIp);
+    let (flows, _) = run_stream(&events, VictimKey::ByIp, 3, 2);
+    assert_eq!(flows, expected);
+    assert_eq!(flows.len(), 1);
+    assert_eq!(flows[0].total_packets, 20);
+}
+
+#[test]
+fn out_of_order_arrivals_within_the_watermark_match_batch() {
+    // Arrival order is the full reverse of timestamp order; the watermark
+    // never moves until the stream ends, so every arrival is lawful.
+    let mut node = node_for_test();
+    for t in (0..10).rev() {
+        node.ingest(&pkt(1_000 + t * 50, 0, 3)).unwrap();
+    }
+    let (flows, _) = node.finish().unwrap();
+    let batch: Vec<SensorPacket> = (0..10).map(|t| pkt(1_000 + t * 50, 0, 3)).collect();
+    assert_eq!(flows, group_flows_par(&batch, VictimKey::ByIp));
+    assert_eq!(flows.len(), 1);
+    assert_eq!(flows[0].start, 1_000);
+    assert_eq!(flows[0].end, 1_450);
+}
+
+#[test]
+fn the_five_packet_classification_edge_is_exact() {
+    // §3: attack iff *some sensor* saw more than 5 packets. 5 → scan,
+    // 6 → attack, 6 split 3/3 across sensors → scan. Streamed and
+    // batch-grouped verdicts agree on all three.
+    for (n, sensors, expected) in [
+        (5u64, 1u32, FlowClass::Scan),
+        (6, 1, FlowClass::Attack),
+        (6, 2, FlowClass::Scan),
+    ] {
+        let events: Vec<(SensorPacket, u64, u8)> = (0..n)
+            .map(|i| (pkt(100 + i, (i as u32) % sensors, 5), 0, 0))
+            .collect();
+        let expected_flows = batch_reference(&events, VictimKey::ByIp);
+        let (flows, _) = run_stream(&events, VictimKey::ByIp, 2, 4);
+        assert_eq!(flows, expected_flows);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(
+            flows[0].classify(),
+            expected,
+            "n={n} sensors={sensors}"
+        );
+    }
+}
+
+#[test]
+fn single_packet_scan_flows_stream_through_intact() {
+    // Lone packets separated by more than the gap: each is its own
+    // single-packet scan flow, duration zero, never merged by the
+    // incremental expiry.
+    let events: Vec<(SensorPacket, u64, u8)> = (0..6)
+        .map(|i| (pkt(i * 2_000, 0, 2), 0, 0))
+        .collect();
+    let expected = batch_reference(&events, VictimKey::ByIp);
+    let (flows, _) = run_stream(&events, VictimKey::ByIp, 2, 2);
+    assert_eq!(flows, expected);
+    assert_eq!(flows.len(), 6);
+    for f in &flows {
+        assert_eq!(f.duration_secs(), 0);
+        assert_eq!(f.classify(), FlowClass::Scan);
+    }
+}

@@ -226,6 +226,77 @@ fn batched_encoder_emits_the_oracle_bytes_on_every_branch_shape() {
     }
 }
 
+#[test]
+fn encode_lane_tails_are_kernel_invariant_at_every_length() {
+    // The batched encoder packs 8 all-small zig-zags per lane and falls
+    // back to a scalar tail for the last `n % 8` items. Sweep every
+    // length through several full lanes so the 7-item and 8-item tail
+    // boundaries (and everything between) are each hit explicitly.
+    for len in 1usize..=40 {
+        let packets: Vec<SensorPacket> = (0..len as u64)
+            .map(|i| pkt(1_000 + i * 3, (i % 4) as u32, 60 + (i % 5) as u32, 2))
+            .collect();
+        let fast = with_scalar_kernels(false, || encode_chunk(&packets));
+        let scalar = with_scalar_kernels(true, || encode_chunk(&packets));
+        assert_eq!(fast, scalar, "encoded bytes diverge at len={len}");
+        assert_eq!(decode_chunk(&fast).unwrap(), packets, "round trip at len={len}");
+    }
+}
+
+#[test]
+fn a_large_value_at_each_final_batch_position_breaks_the_lane_identically() {
+    // One huge jump placed at every position of the *final* (possibly
+    // partial) batch: whichever lane the fast path was packing must
+    // bail to the mixed-batch fallback at exactly the same byte the
+    // oracle emits. Lengths 17 and 24 give a 1-item and an 8-item final
+    // batch after two full lanes.
+    for len in [17usize, 20, 23, 24] {
+        for big_at in (len - (len % 8).max(1))..len {
+            let packets: Vec<SensorPacket> = (0..len)
+                .map(|i| {
+                    if i == big_at {
+                        pkt(u64::MAX - 7, u32::MAX, u32::MAX - 3, 9)
+                    } else {
+                        pkt(2_000 + i as u64, 1, 80, 4)
+                    }
+                })
+                .collect();
+            let fast = with_scalar_kernels(false, || encode_chunk(&packets));
+            let scalar = with_scalar_kernels(true, || encode_chunk(&packets));
+            assert_eq!(fast, scalar, "len={len} big_at={big_at}: bytes diverge");
+            assert_eq!(decode_chunk(&fast).unwrap(), packets, "len={len} big_at={big_at}");
+        }
+    }
+}
+
+forall! {
+    #![cases(96)]
+
+    fn encode_lanes_agree_on_arbitrary_tail_shapes(
+        full_batches in 0usize..3,
+        tail in 1usize..=8,
+        bigs in prop::collection::vec(0u32..2, 32),
+    ) {
+        // Arbitrary batch counts with every tail length 1..=8 and an
+        // arbitrary big/small pattern: the packed lane must survive any
+        // interruption point and agree with the oracle byte-for-byte.
+        let n = full_batches * 8 + tail;
+        let packets: Vec<SensorPacket> = (0..n)
+            .map(|i| {
+                if bigs[i] == 1 {
+                    pkt(u64::MAX - (i as u64) * 1_000, u32::MAX - i as u32, u32::MAX, 7)
+                } else {
+                    pkt(500 + i as u64 * 2, 2, 30, 1)
+                }
+            })
+            .collect();
+        let fast = with_scalar_kernels(false, || encode_chunk(&packets));
+        let scalar = with_scalar_kernels(true, || encode_chunk(&packets));
+        prop_assert_eq!(&fast, &scalar, "encoded bytes diverge (n={})", n);
+        prop_assert_eq!(decode_chunk(&fast).unwrap(), packets);
+    }
+}
+
 fn pkt(time: u64, sensor: u32, victim: u32, proto: usize) -> SensorPacket {
     SensorPacket {
         time,

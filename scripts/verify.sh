@@ -88,4 +88,23 @@ cargo run --release --offline -p booters-core --bin repro_report -- 0.02 >/dev/n
 test -s out/report.html || { echo "verify: out/report.html missing or empty" >&2; exit 1; }
 test -s out/report.md   || { echo "verify: out/report.md missing or empty" >&2; exit 1; }
 
+# Seventh pass: the streaming-equivalence contract (DESIGN.md §5g) at the
+# artifact level. repro_serve runs the full-packet chain through the batch
+# pipeline and the booters-serve streaming node, writes both renderings,
+# and asserts them equal in-process; cmp re-checks the written bytes here
+# so a broken artifact writer can't mask a divergence. BOOTERS_THREADS=4
+# puts the shard fan-out on real worker threads.
+echo "==> repro_serve smoke: streaming vs batch artifact diff (offline, scale 0.05, BOOTERS_THREADS=4)"
+BOOTERS_THREADS=4 \
+    cargo run --release --offline -p booters-bench --bin repro_serve -- 0.05 >/dev/null
+cmp out/table1.batch.txt out/table1.serve.txt || {
+    echo "verify: streaming Table 1 differs from the batch pipeline" >&2
+    exit 1
+}
+cmp out/table2.batch.txt out/table2.serve.txt || {
+    echo "verify: streaming Table 2 differs from the batch pipeline" >&2
+    exit 1
+}
+test -s out/serve.txt || { echo "verify: out/serve.txt missing or empty" >&2; exit 1; }
+
 echo "==> verify: OK"

@@ -23,6 +23,7 @@
 //! | [`par`] | deterministic scoped thread-pool driving the simulate→group→fit hot paths |
 //! | [`store`] | chunked columnar on-disk packet store + out-of-core flow grouping |
 //! | [`obs`] | zero-dependency span timers + metric counters, off by default (`BOOTERS_OBS=1`) |
+//! | [`serve`] | streaming ingest: sharded intake, watermark-driven flow expiry, rolling warm-started refits |
 //!
 //! Parallelism never changes results: every report is byte-identical at
 //! any `BOOTERS_THREADS` setting (see DESIGN.md, "Determinism contract").
@@ -56,6 +57,7 @@ pub use booters_market as market;
 pub use booters_netsim as netsim;
 pub use booters_obs as obs;
 pub use booters_par as par;
+pub use booters_serve as serve;
 pub use booters_stats as stats;
 pub use booters_store as store;
 pub use booters_timeseries as timeseries;

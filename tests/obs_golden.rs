@@ -9,13 +9,15 @@
 //! is its own process, like every integration-test binary) serialise on
 //! a local mutex and reset the registry at each step.
 
-use booting_the_booters::core::pipeline::{fit_global, PipelineConfig};
+use booting_the_booters::core::pipeline::{build_dataset_serve, fit_global, PipelineConfig};
 use booting_the_booters::core::report::{table1, table2};
 use booting_the_booters::core::scenario::{Fidelity, Scenario, ScenarioConfig};
 use booting_the_booters::market::calibration::Calibration;
 use booting_the_booters::market::market::MarketConfig;
 use booting_the_booters::obs;
 use booting_the_booters::par::{with_min_items, with_threads};
+use booting_the_booters::serve::ServeConfig;
+use booting_the_booters::timeseries::Date;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
@@ -100,6 +102,114 @@ fn workload_counters_are_thread_count_invariant() {
     assert!(
         seq.contains_key("glm.irls_iterations"),
         "expected IRLS iteration counts in the workload set"
+    );
+}
+
+/// Full-packet scenario routed through the streaming (booters-serve)
+/// backend, over the paper's modelling window with a small weekly
+/// command sample — the same shape the serve-equivalence golden pins.
+fn render_streaming_tables() -> (String, String) {
+    let cal = Calibration {
+        scenario_start: Date::new(2016, 6, 6),
+        scenario_end: Date::new(2019, 4, 1),
+        ..Calibration::default()
+    };
+    let config = ScenarioConfig {
+        market: MarketConfig {
+            calibration: cal,
+            scale: 0.05,
+            seed: SMOKE_SEED,
+            ..MarketConfig::default()
+        },
+        fidelity: Fidelity::FullPackets { per_week: 4 },
+        ..ScenarioConfig::default()
+    };
+    let serve = ServeConfig {
+        shards: 4,
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    };
+    let s = build_dataset_serve(config, serve).expect("streaming scenario");
+    assert!(s.serve_stats.as_ref().expect("serve path ran").packets > 0);
+    let cal = Calibration::default();
+    let cfg = PipelineConfig::default();
+    let fit = fit_global(&s.honeypot, &cal, &cfg).unwrap();
+    (table1(&fit), table2(&s.honeypot, &cal, &cfg).unwrap())
+}
+
+#[test]
+fn streaming_metrics_on_changes_no_output_bytes() {
+    let _g = OBS_LOCK.lock().unwrap();
+
+    obs::set_enabled(false);
+    obs::reset();
+    let (t1_off, t2_off) = render_streaming_tables();
+
+    obs::set_enabled(true);
+    obs::reset();
+    let (t1_on, t2_on) = render_streaming_tables();
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    obs::reset();
+
+    assert_eq!(
+        t1_off, t1_on,
+        "streaming Table 1 must be byte-identical with BOOTERS_OBS on"
+    );
+    assert_eq!(
+        t2_off, t2_on,
+        "streaming Table 2 must be byte-identical with BOOTERS_OBS on"
+    );
+    // The streaming stages really were instrumented.
+    assert!(
+        snap.counter("serve.packets_grouped") > 0,
+        "expected grouped-packet counts recorded"
+    );
+    assert!(
+        snap.counter("serve.weeks_closed") > 0,
+        "expected week closes recorded"
+    );
+    assert!(
+        snap.spans.keys().any(|k| k.contains("serve.close_epoch")),
+        "expected the epoch-close span somewhere in the hierarchy: {:?}",
+        snap.spans.keys().collect::<Vec<_>>()
+    );
+}
+
+/// Streaming pipeline with metrics on under `threads` workers → merged
+/// workload counters.
+fn streaming_workload_at(threads: usize) -> BTreeMap<String, u64> {
+    obs::set_enabled(true);
+    obs::reset();
+    with_min_items(1, || {
+        with_threads(threads, || {
+            let (t1, t2) = render_streaming_tables();
+            assert!(!t1.is_empty() && !t2.is_empty());
+        })
+    });
+    let snap = obs::snapshot();
+    obs::set_enabled(false);
+    obs::reset();
+    snap.workload_counters()
+}
+
+#[test]
+fn streaming_workload_counters_are_thread_count_invariant() {
+    let _g = OBS_LOCK.lock().unwrap();
+    let seq = streaming_workload_at(1);
+    let par = streaming_workload_at(4);
+    assert!(!seq.is_empty(), "sequential streaming run recorded no counters");
+    assert_eq!(
+        seq, par,
+        "streaming workload counters must merge to identical totals at 1 and 4 threads"
+    );
+    assert!(
+        seq.contains_key("serve.packets_grouped"),
+        "expected serve intake counts in the workload set"
+    );
+    assert!(
+        seq.contains_key("serve.flows_closed"),
+        "expected flow-close counts in the workload set"
     );
 }
 

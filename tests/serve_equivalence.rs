@@ -1,0 +1,134 @@
+//! Golden equivalence tests for the booters-serve streaming path.
+//!
+//! The acceptance bar for the streaming subsystem (DESIGN.md §5g): routing
+//! the full-packet measurement chain through the sharded streaming node —
+//! bounded intake rings, watermark-driven incremental flow expiry, rolling
+//! warm-started NB2 refits — must leave every analysis output
+//! **byte-identical** to the batch in-memory pipeline, across thread
+//! counts and with every fast kernel forced back to its scalar oracle.
+//!
+//! The streaming run must also do *real* streaming work, asserted: at
+//! least three watermark-driven week closes, at least one warm-started
+//! refit, and zero late packets (the watermark contract held).
+
+use booting_the_booters::core::pipeline::{build_dataset_serve, fit_global, PipelineConfig};
+use booting_the_booters::core::report::{table1, table2};
+use booting_the_booters::core::scenario::{Fidelity, Scenario, ScenarioConfig};
+use booting_the_booters::market::calibration::Calibration;
+use booting_the_booters::market::market::MarketConfig;
+use booting_the_booters::par::{with_scalar_kernels, with_threads};
+use booting_the_booters::serve::ServeConfig;
+use booting_the_booters::timeseries::Date;
+
+const SERVE_SEED: u64 = 0x57_0BE5;
+
+/// Full-packet scenario over exactly the paper's modelling window
+/// (June 2016 – April 2019), small weekly command sample so the whole
+/// chain stays test-sized. Identical shape to the store-equivalence
+/// golden so the two subsystems are held to the same bar.
+fn config() -> ScenarioConfig {
+    let cal = Calibration {
+        scenario_start: Date::new(2016, 6, 6),
+        scenario_end: Date::new(2019, 4, 1),
+        ..Calibration::default()
+    };
+    ScenarioConfig {
+        market: MarketConfig {
+            calibration: cal,
+            scale: 0.05,
+            seed: SERVE_SEED,
+            ..MarketConfig::default()
+        },
+        fidelity: Fidelity::FullPackets { per_week: 4 },
+        ..ScenarioConfig::default()
+    }
+}
+
+fn render_tables(s: &Scenario) -> (String, String) {
+    let cal = Calibration::default();
+    let cfg = PipelineConfig::default();
+    let t1 = table1(&fit_global(&s.honeypot, &cal, &cfg).expect("global fit"));
+    let t2 = table2(&s.honeypot, &cal, &cfg).expect("country fits");
+    (t1, t2)
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        shards: 4,
+        // Small rings so the intake path exercises backpressure + drain.
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn streaming_tables_are_byte_identical_across_threads_and_kernels() {
+    // Batch in-memory reference, sequential, fast kernels.
+    let (ref_t1, ref_t2) = with_threads(1, || render_tables(&Scenario::run(config())));
+    assert!(ref_t1.contains("Xmas 2018 event"));
+    assert!(ref_t2.contains("Overall"));
+
+    for threads in [1usize, 4] {
+        for scalar in [false, true] {
+            let (t1, t2, stats) = with_threads(threads, || {
+                with_scalar_kernels(scalar, || {
+                    let s = build_dataset_serve(config(), serve_config())
+                        .expect("streaming scenario");
+                    let stats = s.serve_stats.clone().expect("serve path ran");
+                    let (t1, t2) = render_tables(&s);
+                    (t1, t2, stats)
+                })
+            });
+            // Real streaming, not a degenerate single flush: the window
+            // spans ~148 weeks, each closed by a watermark crossing.
+            assert!(
+                stats.weeks_closed >= 3,
+                "threads={threads} scalar={scalar}: only {} week closes",
+                stats.weeks_closed
+            );
+            assert!(stats.epochs >= 3);
+            assert!(stats.packets > 0);
+            assert_eq!(
+                stats.grouped, stats.packets,
+                "threads={threads} scalar={scalar}: packets lost between intake and grouping"
+            );
+            assert_eq!(stats.late_packets, 0, "watermark contract violated");
+            assert!(
+                stats.refits_warm >= 1,
+                "threads={threads} scalar={scalar}: no warm-started refit ran \
+                 (warm={} full={} failures={})",
+                stats.refits_warm,
+                stats.refits_full,
+                stats.refit_failures
+            );
+            assert!(
+                t1 == ref_t1,
+                "Table 1 differs from the batch path at threads={threads} scalar={scalar}:\n\
+                 --- batch ---\n{ref_t1}\n--- streaming ---\n{t1}"
+            );
+            assert!(
+                t2 == ref_t2,
+                "Table 2 differs from the batch path at threads={threads} scalar={scalar}:\n\
+                 --- batch ---\n{ref_t2}\n--- streaming ---\n{t2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_stats_are_thread_invariant() {
+    // ServeStats are part of the determinism contract: every counter is
+    // derived from packet content and watermark schedule, never from
+    // scheduling order, so thread counts must not move any of them.
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            build_dataset_serve(config(), serve_config())
+                .expect("streaming scenario")
+                .serve_stats
+                .expect("serve path ran")
+        })
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a, b, "ServeStats differ between threads=1 and threads=4");
+}
