@@ -1,0 +1,198 @@
+//! Exercise the predicate-pushdown query engine end to end: run the
+//! full-packet measurement chain once through the batch in-memory
+//! pipeline and once with every week routed through a scratch columnar
+//! store and the `booters-query` engine, render Tables 1 and 2 from
+//! both, and write each rendering as its own artifact so the verify
+//! recipe can `cmp` them byte-for-byte. A second section runs canned
+//! pushdown queries (time window, victim prefix, protocol set) against
+//! a many-chunk store and reports the pruning economics, plus the
+//! weekly `(week × country × protocol)` panel as a CSV artifact.
+//!
+//! Usage: `cargo run --release -p booters-bench --bin repro_query [scale]`
+
+use booters_bench::{pipeline_config, scale_from_args, write_artifact, REPRO_SEED};
+use booters_core::pipeline::{build_dataset_query, fit_global};
+use booters_core::report::{table1, table2};
+use booters_core::scenario::{Fidelity, Scenario, ScenarioConfig};
+use booters_market::calibration::Calibration;
+use booters_market::market::MarketConfig;
+use booters_netsim::{AttackCommand, Engine, EngineConfig, UdpProtocol, VictimAddr};
+use booters_query::{Predicate, QueryConfig, QueryEngine, QueryStats, WEEK_SECS};
+use booters_store::ChunkWriter;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn query_scenario_config(scale: f64) -> ScenarioConfig {
+    ScenarioConfig {
+        market: MarketConfig {
+            calibration: Calibration::default(),
+            scale,
+            seed: REPRO_SEED,
+            ..MarketConfig::default()
+        },
+        fidelity: Fidelity::FullPackets { per_week: 8 },
+        ..ScenarioConfig::default()
+    }
+}
+
+fn render(s: &Scenario) -> (String, String) {
+    let cal = Calibration::default();
+    let cfg = pipeline_config();
+    let t1 = table1(&fit_global(&s.honeypot, &cal, &cfg).expect("global fit"));
+    let t2 = table2(&s.honeypot, &cal, &cfg).expect("country fits");
+    (t1, t2)
+}
+
+/// One synthetic trace spanning several weeks, chunked small so the
+/// canned queries face a store with plenty of chunks to prune.
+fn canned_store() -> std::path::PathBuf {
+    let mut engine = Engine::new(EngineConfig::default());
+    let cmds: Vec<AttackCommand> = (0..400u32)
+        .map(|i| AttackCommand {
+            time: (3 * WEEK_SECS / 400) * i as u64,
+            victim: VictimAddr::from_octets(25, (i % 9) as u8, (i / 40) as u8, 1),
+            protocol: UdpProtocol::ALL[i as usize % UdpProtocol::ALL.len()],
+            duration_secs: 300,
+            packets_per_second: 20_000,
+            booter: i % 31,
+            avoids_honeypots: i % 5 == 0,
+        })
+        .collect();
+    let packets = engine.simulate_attacks_batch(&cmds);
+    let path = std::env::temp_dir().join(format!(
+        "booters-repro-query-{}.bstore",
+        std::process::id()
+    ));
+    let mut w = ChunkWriter::with_capacity(&path, 1024).expect("create store file");
+    w.push_all(&packets).expect("ingest");
+    w.finish().expect("finish store file");
+    path
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn canned_queries_report() -> (String, String) {
+    let path = canned_store();
+    let eng = QueryEngine::open(&path).expect("open store");
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "canned pushdown queries over {} chunks / {} packets:",
+        eng.chunk_count(),
+        eng.total_packets()
+    );
+
+    let canned: Vec<(&str, Predicate)> = vec![
+        (
+            "week 1 only (time window)",
+            Predicate::all().with_time(WEEK_SECS, 2 * WEEK_SECS),
+        ),
+        (
+            "one /24 victim prefix",
+            Predicate::all().with_prefix24(VictimAddr::from_octets(25, 3, 0, 0)),
+        ),
+        (
+            "DNS + NTP reflectors",
+            Predicate::all().with_protocols(&[UdpProtocol::Dns, UdpProtocol::Ntp]),
+        ),
+        (
+            "prefix x protocol x window",
+            Predicate::all()
+                .with_time(0, WEEK_SECS)
+                .with_prefix24(VictimAddr::from_octets(25, 1, 0, 0))
+                .with_protocols(&[UdpProtocol::Dns]),
+        ),
+        ("off the trace (all pruned)", Predicate::all().with_time(9 * WEEK_SECS, 10 * WEEK_SECS)),
+    ];
+    for (name, pred) in &canned {
+        let (n, st) = eng.count(pred).expect("count");
+        let _ = writeln!(
+            report,
+            "  {name}: {n} rows; pruned {}/{} chunks ({:.0}%), {} covered, {} decoded",
+            st.chunks_pruned,
+            st.chunks_total,
+            pct(st.chunks_pruned, st.chunks_total),
+            st.chunks_covered,
+            st.chunks_decoded,
+        );
+    }
+
+    let (panel, st) = eng.group_by_week(&Predicate::all()).expect("panel");
+    let _ = writeln!(
+        report,
+        "weekly panel: {} cells over {} weeks from {} rows (no row materialization)",
+        panel.cells.len(),
+        panel.weeks().len(),
+        st.rows_scanned,
+    );
+    let csv = panel.to_csv();
+    std::fs::remove_file(&path).expect("remove canned store");
+    (report, csv)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("simulating full-packet scenario at scale {scale} ...");
+
+    let start = Instant::now();
+    let batch = Scenario::run(query_scenario_config(scale));
+    let t_batch = start.elapsed().as_secs_f64();
+    let (t1_batch, t2_batch) = render(&batch);
+
+    let start = Instant::now();
+    let queried = build_dataset_query(
+        query_scenario_config(scale),
+        QueryConfig {
+            chunk_capacity: 1024, // several chunks per simulated week
+            ..QueryConfig::default()
+        },
+    )
+    .expect("query-backed scenario");
+    let t_query = start.elapsed().as_secs_f64();
+    let stats: QueryStats = queried.query_stats.expect("query path ran");
+    let (t1_query, t2_query) = render(&queried);
+
+    assert_eq!(
+        t1_batch, t1_query,
+        "query-backed Table 1 must be byte-identical to the batch pipeline"
+    );
+    assert_eq!(
+        t2_batch, t2_query,
+        "query-backed Table 2 must be byte-identical to the batch pipeline"
+    );
+
+    let (canned, panel_csv) = canned_queries_report();
+
+    let report = format!(
+        "query-backed weeks: {} scans over {} chunks, {} pruned / {} covered / {} decoded\n\
+         rows: {} scanned, {} returned\n\
+         wall time: batch {:.2}s vs query-backed {:.2}s\n\
+         Tables 1 and 2 byte-identical across both paths: yes\n\
+         \n{canned}",
+        stats.scans,
+        stats.chunks_total,
+        stats.chunks_pruned,
+        stats.chunks_covered,
+        stats.chunks_decoded,
+        stats.rows_scanned,
+        stats.rows_returned,
+        t_batch,
+        t_query,
+    );
+    assert!(stats.scans >= 3, "expected real query-backed weeks");
+
+    println!("{report}");
+    println!("{t1_query}");
+    write_artifact("table1.qbatch.txt", &t1_batch);
+    write_artifact("table1.query.txt", &t1_query);
+    write_artifact("table2.qbatch.txt", &t2_batch);
+    write_artifact("table2.query.txt", &t2_query);
+    write_artifact("query_panel.csv", &panel_csv);
+    write_artifact("query.txt", &report);
+}

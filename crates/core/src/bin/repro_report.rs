@@ -34,15 +34,16 @@ const REPRO_SEED: u64 = 0xB00735;
 const DEFAULT_SCALE: f64 = 0.25;
 
 /// Environment knobs surfaced in the manifest.
-const ENV_KNOBS: [&str; 4] = [
+const ENV_KNOBS: [&str; 5] = [
     "BOOTERS_THREADS",
     "BOOTERS_STORE_BUDGET",
     "BOOTERS_PAR_MIN_ITEMS",
     "BOOTERS_OBS",
+    "BOOTERS_QUERY_PAGE",
 ];
 
 /// Workspace crates listed in the manifest (one shared version).
-const CRATES: [&str; 12] = [
+const CRATES: [&str; 14] = [
     "booters-linalg",
     "booters-stats",
     "booters-timeseries",
@@ -53,6 +54,8 @@ const CRATES: [&str; 12] = [
     "booters-par",
     "booters-store",
     "booters-obs",
+    "booters-serve",
+    "booters-query",
     "booters-testkit",
     "booters-bench",
 ];
@@ -223,6 +226,7 @@ fn main() {
         snapshot: booters_obs::snapshot(),
         artifacts,
         bench,
+        page_size: booters_core::runreport::page_size_from_env(),
     };
 
     let out_dir = root.join("out");

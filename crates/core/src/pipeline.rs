@@ -233,6 +233,23 @@ pub fn build_dataset_serve(
     crate::scenario::Scenario::try_run(config)
 }
 
+/// Query-backed dataset builder: run `config` with every full-packet
+/// week written to a scratch columnar store file and its attack flows
+/// recovered through the `booters-query` predicate-pushdown engine
+/// (zone-map planning, late materialization) instead of in-RAM
+/// grouping. The returned scenario — and therefore every table fitted
+/// from it — is **byte-identical** to `Scenario::run(config)` without a
+/// query backend (golden-tested in `tests/query_equivalence.rs`, across
+/// threads and kernel selections). `query_stats` on the result records
+/// the planner/scan work (chunks pruned vs decoded, rows scanned).
+pub fn build_dataset_query(
+    mut config: crate::scenario::ScenarioConfig,
+    query: booters_query::QueryConfig,
+) -> Result<crate::scenario::Scenario, crate::scenario::ScenarioError> {
+    config.query = Some(query);
+    crate::scenario::Scenario::try_run(config)
+}
+
 /// Fit the paper's global Table 1 model on the honeypot dataset.
 pub fn fit_global(
     ds: &HoneypotDataset,

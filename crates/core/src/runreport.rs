@@ -6,8 +6,13 @@
 //! The HTML is fully inline (CSS, JS, SVG sparklines): no network
 //! fetches, no external assets, so `out/report.html` can be attached to
 //! a ticket or mailed around and still render. Tables built from CSV
-//! artifacts are click-to-sort, in the spirit of datavzrd's portable
-//! reports, via a ~30-line inline script.
+//! artifacts are interactive in the spirit of datavzrd's portable
+//! reports: every column is type-classified ([`ColumnType`]) so clicks
+//! sort numerically or lexicographically as appropriate, numeric
+//! columns carry an inline header sparkline of their values, and long
+//! tables are paged — each row is stamped with its page by a
+//! [`RowAddressFactory`] (page size from `BOOTERS_QUERY_PAGE`, default
+//! 50) and a small inline pager walks the pages without reloading.
 //!
 //! Rendering is pure string → string: the binary
 //! (`crates/core/src/bin/repro_report.rs`) gathers the inputs, this
@@ -77,6 +82,145 @@ pub struct ReportInput {
     pub artifacts: Vec<Artifact>,
     /// Benchmark trajectory, in file order then line order.
     pub bench: Vec<BenchRecord>,
+    /// Rows per page in rendered CSV tables (`BOOTERS_QUERY_PAGE`;
+    /// see [`page_size_from_env`]).
+    pub page_size: usize,
+}
+
+// ---------------------------------------------------------------------
+// Paged-table machinery (datavzrd-style row addressing + column types)
+// ---------------------------------------------------------------------
+
+/// Default rows-per-page when `BOOTERS_QUERY_PAGE` is unset.
+pub const DEFAULT_PAGE_SIZE: usize = 50;
+
+/// Read the report page size from `BOOTERS_QUERY_PAGE` (rows per page
+/// in rendered CSV tables). Unset, unparsable, or zero falls back to
+/// [`DEFAULT_PAGE_SIZE`].
+pub fn page_size_from_env() -> usize {
+    std::env::var("BOOTERS_QUERY_PAGE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_PAGE_SIZE)
+}
+
+/// Stable address of one data row in a paged table: which page it lands
+/// on and its offset within that page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowAddress {
+    /// Zero-based page index.
+    pub page: usize,
+    /// Zero-based row offset within the page.
+    pub local: usize,
+}
+
+/// Maps absolute row indices to [`RowAddress`]es for a fixed page size
+/// — the single source of truth for how a table is cut into pages, so
+/// the server-side row stamps and the page count always agree.
+#[derive(Debug, Clone, Copy)]
+pub struct RowAddressFactory {
+    page_size: usize,
+}
+
+impl RowAddressFactory {
+    /// A factory cutting pages of `page_size` rows (clamped to ≥ 1).
+    pub fn new(page_size: usize) -> RowAddressFactory {
+        RowAddressFactory {
+            page_size: page_size.max(1),
+        }
+    }
+
+    /// The (clamped) page size.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Address of absolute row `row`.
+    pub fn get(&self, row: usize) -> RowAddress {
+        RowAddress {
+            page: row / self.page_size,
+            local: row % self.page_size,
+        }
+    }
+
+    /// Number of pages needed for `rows` data rows (at least 1).
+    pub fn pages(&self, rows: usize) -> usize {
+        rows.div_ceil(self.page_size).max(1)
+    }
+}
+
+/// Inferred type of one CSV column, driving sort order and plotting:
+/// numeric columns sort numerically and get a header sparkline; string
+/// columns sort lexicographically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Every cell is empty.
+    None,
+    /// Every non-empty cell parses as a (signed) integer.
+    Integer,
+    /// Every non-empty cell parses as a float (and not all as integers).
+    Float,
+    /// Anything else.
+    String,
+}
+
+impl ColumnType {
+    /// The `data-type` attribute value for HTML rendering.
+    fn attr(self) -> &'static str {
+        match self {
+            ColumnType::None => "none",
+            ColumnType::Integer => "integer",
+            ColumnType::Float => "float",
+            ColumnType::String => "string",
+        }
+    }
+
+    /// Numeric columns get numeric sort + a header plot.
+    fn is_numeric(self) -> bool {
+        matches!(self, ColumnType::Integer | ColumnType::Float)
+    }
+}
+
+/// Classify one column from its data cells (header excluded).
+pub fn classify_column<'a>(cells: impl Iterator<Item = &'a str>) -> ColumnType {
+    let mut seen = false;
+    let mut all_int = true;
+    let mut all_float = true;
+    for cell in cells {
+        let cell = cell.trim();
+        if cell.is_empty() {
+            continue;
+        }
+        seen = true;
+        if cell.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if cell.parse::<f64>().is_err() {
+            all_float = false;
+            break;
+        }
+    }
+    match (seen, all_int, all_float) {
+        (false, _, _) => ColumnType::None,
+        (true, true, _) => ColumnType::Integer,
+        (true, false, true) => ColumnType::Float,
+        (true, false, false) => ColumnType::String,
+    }
+}
+
+/// Classify every column of a CSV body (first line = header). Ragged
+/// rows contribute only the cells they have.
+pub fn classify_table(body: &str) -> Vec<ColumnType> {
+    let mut lines = body.lines();
+    let n_cols = lines.next().map_or(0, |h| csv_fields(h).len());
+    let rows: Vec<Vec<&str>> = lines
+        .filter(|l| !l.is_empty())
+        .map(csv_fields)
+        .collect();
+    (0..n_cols)
+        .map(|c| classify_column(rows.iter().filter_map(|r| r.get(c).copied())))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -157,30 +301,38 @@ fn csv_fields(line: &str) -> Vec<&str> {
     line.split(',').collect()
 }
 
-/// Inline SVG sparkline over `values` (min–max normalised polyline).
-fn sparkline_svg(values: &[u64]) -> String {
-    const W: f64 = 160.0;
-    const H: f64 = 28.0;
+/// Inline SVG sparkline over `values` (min–max normalised polyline),
+/// sized `w`×`h` CSS pixels.
+fn sparkline_svg_sized(values: &[f64], w: f64, h: f64) -> String {
     const PAD: f64 = 2.0;
     if values.len() < 2 {
         return String::new();
     }
-    let lo = *values.iter().min().unwrap() as f64;
-    let hi = *values.iter().max().unwrap() as f64;
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() || !hi.is_finite() {
+        return String::new();
+    }
     let span = if hi > lo { hi - lo } else { 1.0 };
-    let step = (W - 2.0 * PAD) / (values.len() - 1) as f64;
+    let step = (w - 2.0 * PAD) / (values.len() - 1) as f64;
     let mut pts = String::new();
     for (i, &v) in values.iter().enumerate() {
         let x = PAD + i as f64 * step;
-        let y = H - PAD - (v as f64 - lo) / span * (H - 2.0 * PAD);
+        let y = h - PAD - (v - lo) / span * (h - 2.0 * PAD);
         let _ = write!(pts, "{x:.1},{y:.1} ");
     }
     format!(
-        "<svg class=\"spark\" width=\"{W}\" height=\"{H}\" viewBox=\"0 0 {W} {H}\" \
+        "<svg class=\"spark\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\" \
          role=\"img\" aria-label=\"trend\"><polyline points=\"{}\" fill=\"none\" \
          stroke=\"#2a6\" stroke-width=\"1.5\"/></svg>",
         pts.trim_end()
     )
+}
+
+/// Inline SVG sparkline over integer `values` (bench trajectories).
+fn sparkline_svg(values: &[u64]) -> String {
+    let vals: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    sparkline_svg_sized(&vals, 160.0, 28.0)
 }
 
 // ---------------------------------------------------------------------
@@ -198,36 +350,94 @@ pre{background:#f7f7f7;border:1px solid #ddd;padding:.8em;overflow-x:auto;font-s
 details{margin:.8em 0}summary{cursor:pointer;font-weight:600}\
 summary small{font-weight:400;color:#666}\
 .spark{vertical-align:middle}\
+th .spark{display:block;margin-top:.15em}\
+.pager{margin:.4em 0}\
+.pager button{font:inherit;padding:.1em .6em;margin:0 .2em;cursor:pointer}\
+.pager button:disabled{cursor:default;opacity:.4}\
 .meta{color:#666;font-size:.9em}";
 
+/// Click-to-sort for every `table.sortable`: the compare is driven by
+/// the server-side `data-type` column classification when present
+/// (numeric for integer/float columns, lexicographic for string),
+/// falling back to a parse probe; a sort restamps pagination.
 const SORT_JS: &str = "\
 document.querySelectorAll('table.sortable').forEach(function(t){\
 var ths=t.querySelectorAll('th');\
 ths.forEach(function(th,i){th.addEventListener('click',function(){\
 var tb=t.tBodies[0],rows=Array.from(tb.rows);\
 var dir=th.dataset.dir==='a'?'d':'a';ths.forEach(function(h){delete h.dataset.dir});th.dataset.dir=dir;\
+var ty=th.dataset.type||'';\
 rows.sort(function(r1,r2){\
 var a=r1.cells[i].textContent.trim(),b=r2.cells[i].textContent.trim();\
-var na=parseFloat(a),nb=parseFloat(b);\
-var c=(!isNaN(na)&&!isNaN(nb))?na-nb:a.localeCompare(b);\
+var c;\
+if(ty==='integer'||ty==='float'){c=(parseFloat(a)||0)-(parseFloat(b)||0);}\
+else if(ty==='string'||ty==='none'){c=a.localeCompare(b);}\
+else{var na=parseFloat(a),nb=parseFloat(b);c=(!isNaN(na)&&!isNaN(nb))?na-nb:a.localeCompare(b);}\
 return dir==='a'?c:-c;});\
-rows.forEach(function(r){tb.appendChild(r)});});});});";
+rows.forEach(function(r){tb.appendChild(r)});\
+if(t.__repage)t.__repage();});});});";
 
-/// Render a CSV body as a sortable HTML table (first line = header).
-fn csv_to_html_table(body: &str) -> String {
+/// Pager for every `table.paged`: pages of `data-page-size` rows, a
+/// prev/next nav injected above the table, and a `__repage` hook so
+/// sorting re-cuts the pages in the new row order. Rows arrive
+/// pre-stamped (server-side row addressing) so page one renders
+/// correctly even before — or without — the script running.
+const PAGER_JS: &str = "\
+document.querySelectorAll('table.paged').forEach(function(t){\
+var ps=parseInt(t.dataset.pageSize,10)||50;\
+var tb=t.tBodies[0];\
+if(tb.rows.length<=ps){t.__repage=function(){};return;}\
+var page=0,pages=Math.ceil(tb.rows.length/ps);\
+var nav=document.createElement('p');nav.className='pager';\
+var prev=document.createElement('button');prev.type='button';prev.textContent='\\u2039 prev';\
+var next=document.createElement('button');next.type='button';next.textContent='next \\u203a';\
+var lab=document.createElement('span');\
+function show(){Array.from(tb.rows).forEach(function(r,i){\
+r.style.display=Math.floor(i/ps)===page?'':'none';});\
+lab.textContent=' page '+(page+1)+' of '+pages+' ';\
+prev.disabled=page===0;next.disabled=page===pages-1;}\
+prev.addEventListener('click',function(){if(page>0){page--;show();}});\
+next.addEventListener('click',function(){if(page<pages-1){page++;show();}});\
+nav.appendChild(prev);nav.appendChild(lab);nav.appendChild(next);\
+t.parentNode.insertBefore(nav,t);\
+t.__repage=show;show();});";
+
+/// Render a CSV body as a sortable, paged HTML table (first line =
+/// header). Columns are type-classified to drive the sort compare and
+/// to put a sparkline of each numeric column in its header cell; data
+/// rows are stamped with their page address so pages after the first
+/// start hidden (the inline pager walks them).
+fn csv_to_html_table(body: &str, pager: &RowAddressFactory) -> String {
+    let types = classify_table(body);
     let mut lines = body.lines();
-    let mut out = String::from("<table class=\"sortable\"><thead><tr>");
-    if let Some(header) = lines.next() {
-        for f in csv_fields(header) {
-            let _ = write!(out, "<th>{}</th>", esc(f));
+    let header = lines.next();
+    let data: Vec<&str> = lines.filter(|l| !l.is_empty()).collect();
+    let mut out = format!(
+        "<table class=\"sortable paged\" data-page-size=\"{}\"><thead><tr>",
+        pager.page_size()
+    );
+    if let Some(header) = header {
+        for (c, f) in csv_fields(header).into_iter().enumerate() {
+            let ty = types.get(c).copied().unwrap_or(ColumnType::None);
+            let _ = write!(out, "<th data-type=\"{}\">{}", ty.attr(), esc(f));
+            if ty.is_numeric() {
+                let vals: Vec<f64> = data
+                    .iter()
+                    .filter_map(|l| csv_fields(l).get(c).and_then(|v| v.trim().parse().ok()))
+                    .collect();
+                out.push_str(&sparkline_svg_sized(&vals, 80.0, 16.0));
+            }
+            out.push_str("</th>");
         }
     }
     out.push_str("</tr></thead><tbody>");
-    for line in lines {
-        if line.is_empty() {
-            continue;
+    for (i, line) in data.iter().enumerate() {
+        let addr = pager.get(i);
+        let _ = write!(out, "<tr data-page=\"{}\"", addr.page);
+        if addr.page > 0 {
+            out.push_str(" style=\"display:none\"");
         }
-        out.push_str("<tr>");
+        out.push('>');
         for f in csv_fields(line) {
             let _ = write!(out, "<td>{}</td>", esc(f));
         }
@@ -318,6 +528,7 @@ pub fn render_html(input: &ReportInput) -> String {
 
     // Artifacts --------------------------------------------------------
     h.push_str("<h2>Tables &amp; figures</h2>");
+    let pager = RowAddressFactory::new(input.page_size);
     for a in &input.artifacts {
         let _ = write!(
             h,
@@ -326,7 +537,7 @@ pub fn render_html(input: &ReportInput) -> String {
             esc(&a.caption)
         );
         if a.is_csv() {
-            h.push_str(&csv_to_html_table(&a.body));
+            h.push_str(&csv_to_html_table(&a.body, &pager));
         } else {
             let _ = write!(h, "<pre>{}</pre>", esc(&a.body));
         }
@@ -369,7 +580,7 @@ pub fn render_html(input: &ReportInput) -> String {
         }
     }
 
-    let _ = write!(h, "<script>{SORT_JS}</script></body></html>");
+    let _ = write!(h, "<script>{PAGER_JS}{SORT_JS}</script></body></html>");
     h
 }
 
@@ -508,6 +719,7 @@ mod tests {
                 "{\"name\":\"negbin_fit\",\"median_ns\":1935889,\"mad_ns\":205387,\"samples\":20,\"iters_per_sample\":5}\n\
                  {\"name\":\"negbin_cold\",\"median_ns\":4689616,\"mad_ns\":200719,\"samples\":20,\"iters_per_sample\":2}\n",
             ),
+            page_size: DEFAULT_PAGE_SIZE,
         }
     }
 
@@ -539,11 +751,86 @@ mod tests {
     }
 
     #[test]
-    fn csv_artifacts_become_sortable_tables() {
+    fn csv_artifacts_become_sortable_typed_tables() {
         let html = render_html(&sample_input());
-        assert!(html.contains("<th>week</th><th>attacks</th>"));
+        // The date column sorts lexicographically, the count column
+        // numerically — the classification is stamped on the headers.
+        assert!(html.contains("<th data-type=\"string\">week</th>"));
+        assert!(html.contains("<th data-type=\"integer\">attacks"));
         assert!(html.contains("<td>2016-06-13</td><td>133</td>"));
         assert!(html.contains("table.sortable"));
+        assert!(html.contains("table.paged"));
+    }
+
+    #[test]
+    fn row_addresses_cut_pages_consistently() {
+        let f = RowAddressFactory::new(50);
+        assert_eq!(f.get(0), RowAddress { page: 0, local: 0 });
+        assert_eq!(f.get(49), RowAddress { page: 0, local: 49 });
+        assert_eq!(f.get(50), RowAddress { page: 1, local: 0 });
+        assert_eq!(f.get(137), RowAddress { page: 2, local: 37 });
+        assert_eq!(f.pages(0), 1);
+        assert_eq!(f.pages(50), 1);
+        assert_eq!(f.pages(51), 2);
+        // Degenerate page size clamps rather than dividing by zero.
+        assert_eq!(RowAddressFactory::new(0).page_size(), 1);
+    }
+
+    #[test]
+    fn columns_classify_by_content() {
+        let types = classify_table(
+            "week,attacks,rate,note,blank\n\
+             2016-06-06,120,0.5,ok,\n\
+             2016-06-13,133,1.25,,\n",
+        );
+        assert_eq!(
+            types,
+            vec![
+                ColumnType::String,
+                ColumnType::Integer,
+                ColumnType::Float,
+                ColumnType::String,
+                ColumnType::None,
+            ]
+        );
+    }
+
+    #[test]
+    fn long_csv_tables_page_and_plot() {
+        let mut body = String::from("i,value\n");
+        for i in 0..120 {
+            body.push_str(&format!("{i},{}\n", i * i));
+        }
+        let input = ReportInput {
+            artifacts: vec![Artifact {
+                name: "long.csv".into(),
+                caption: "paged".into(),
+                body,
+            }],
+            page_size: 50,
+            ..sample_input()
+        };
+        let html = render_html(&input);
+        // Server-side row addressing: 120 rows at page size 50 span
+        // pages 0..=2, and pages after the first start hidden.
+        assert!(html.contains("data-page-size=\"50\""));
+        assert!(html.contains("<tr data-page=\"2\" style=\"display:none\"><td>119</td>"));
+        assert!(html.contains("<tr data-page=\"0\"><td>49</td>"));
+        // Numeric columns carry a header sparkline plot.
+        assert!(html.contains("<th data-type=\"integer\">value<svg"));
+        // The pager script ships inline.
+        assert!(html.contains("table.paged"));
+        assert!(html.contains("__repage"));
+    }
+
+    #[test]
+    fn page_size_knob_defaults_sanely() {
+        // The knob is read by the binary; here we only pin the default
+        // (the var is unset in the test environment).
+        if std::env::var("BOOTERS_QUERY_PAGE").is_err() {
+            assert_eq!(page_size_from_env(), DEFAULT_PAGE_SIZE);
+        }
+        assert_eq!(DEFAULT_PAGE_SIZE, 50);
     }
 
     #[test]

@@ -24,8 +24,9 @@ use booters_netsim::flow::{FlowClass, VictimKey};
 use booters_netsim::{
     group_flows_par, AttackCommand, Country, Engine, EngineConfig, UdpProtocol, VictimAddr,
 };
+use booters_query::{Predicate, QueryConfig, QueryEngine, QueryStats};
 use booters_serve::{ServeConfig, ServeError, ServeNode, ServeStats};
-use booters_store::{SpillConfig, SpillGrouper, SpillStats, StoreError};
+use booters_store::{ChunkWriter, SpillConfig, SpillGrouper, SpillStats, StoreError};
 use booters_timeseries::Date;
 use booters_testkit::rngs::StdRng;
 use booters_testkit::SeedableRng;
@@ -117,6 +118,15 @@ pub struct ScenarioConfig {
     /// every shard/queue/thread/kernel setting (golden-tested in
     /// `tests/serve_equivalence.rs`). Ignored by the other fidelities.
     pub serve: Option<ServeConfig>,
+    /// When set (and neither `store` nor `serve` is), each
+    /// [`Fidelity::FullPackets`] week writes its packet batch to a
+    /// scratch columnar store file and recovers the week's attack flows
+    /// through the [`booters_query`] predicate-pushdown engine (zone-map
+    /// planning, late materialization) instead of grouping the in-RAM
+    /// batch directly. The resulting datasets are byte-identical to the
+    /// in-memory path at every thread/kernel setting (golden-tested in
+    /// `tests/query_equivalence.rs`). Ignored by the other fidelities.
+    pub query: Option<QueryConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -129,6 +139,7 @@ impl Default for ScenarioConfig {
             selfreport_start: Date::new(2017, 11, 6),
             store: None,
             serve: None,
+            query: None,
         }
     }
 }
@@ -153,6 +164,11 @@ pub struct Scenario {
     /// `None` unless the streaming backend ran (`serve` configured with
     /// [`Fidelity::FullPackets`]).
     pub serve_stats: Option<ServeStats>,
+    /// Planner/scan accounting accumulated across all query-backed
+    /// weeks (chunks pruned vs decoded, rows scanned vs returned);
+    /// `None` unless the query backend ran (`query` configured with
+    /// [`Fidelity::FullPackets`]).
+    pub query_stats: Option<QueryStats>,
 }
 
 impl Scenario {
@@ -189,6 +205,7 @@ impl Scenario {
 
         let mut weeks = Vec::with_capacity(n_weeks_total);
         let mut store_stats: Option<SpillStats> = None;
+        let mut query_stats: Option<QueryStats> = None;
         // One long-running streaming node for the whole scenario: flows
         // and weekly refits accumulate across weeks, exactly as a live
         // deployment would see them. The store backend wins if both are
@@ -223,18 +240,23 @@ impl Scenario {
                 Fidelity::FullPackets { per_week } => {
                     let booters_now = sim.population().booters();
                     let cmds = commands_for_week(&out, booters_now, &mut rng, per_week);
-                    match (&config.store, &mut serve_node) {
-                        (Some(spill), _) => {
+                    match (&config.store, &mut serve_node, &config.query) {
+                        (Some(spill), _, _) => {
                             let (rate, stats) =
                                 full_packet_rate_store(&mut engine, &cmds, spill.clone())?;
                             store_stats.get_or_insert_with(SpillStats::default).absorb(&stats);
                             rate
                         }
-                        (None, Some(node)) => {
+                        (None, Some(node), _) => {
                             let week_end = (out.week as u64 + 1) * 7 * 86_400;
                             full_packet_rate_serve(&mut engine, &cmds, node, week_end)?
                         }
-                        (None, None) => full_packet_rate(&mut engine, &cmds),
+                        (None, None, Some(qcfg)) => {
+                            let (rate, stats) = full_packet_rate_query(&mut engine, &cmds, qcfg)?;
+                            query_stats.get_or_insert_with(QueryStats::default).absorb(&stats);
+                            rate
+                        }
+                        (None, None, None) => full_packet_rate(&mut engine, &cmds),
                     }
                 }
             };
@@ -298,6 +320,7 @@ impl Scenario {
             weeks,
             store_stats,
             serve_stats: serve_node.map(|n| n.stats()),
+            query_stats,
         })
     }
 }
@@ -420,6 +443,39 @@ fn full_packet_rate_serve(
         .filter(|f| f.classify() == FlowClass::Attack)
         .count();
     Ok((attacks as f64 / cmds.len() as f64).min(1.0))
+}
+
+/// Query-backed twin of [`full_packet_rate`]: the engine streams the
+/// week's batch into a scratch columnar store file, then recovers the
+/// attack flows through the predicate-pushdown [`QueryEngine`] instead
+/// of grouping the in-RAM batch. The scan uses [`Predicate::all()`] —
+/// the in-memory path groups *every* packet the batch produced, so the
+/// query path must too — and batch output is time-ordered, satisfying
+/// `weekly_attacks`' ingest-order requirement. Engine RNG draw order is
+/// untouched (`simulate_attacks_batch_into` draws identically to
+/// `simulate_attacks_batch`), so the observed datasets are
+/// byte-identical at every thread and kernel setting.
+fn full_packet_rate_query(
+    engine: &mut Engine,
+    cmds: &[AttackCommand],
+    qcfg: &QueryConfig,
+) -> Result<(f64, QueryStats), StoreError> {
+    if cmds.is_empty() {
+        return Ok((1.0, QueryStats::default()));
+    }
+    let path = qcfg.scratch_path();
+    let result = (|| {
+        let mut w = ChunkWriter::with_capacity(&path, qcfg.chunk_capacity)?;
+        engine.simulate_attacks_batch_into(cmds, &mut w);
+        w.finish()?;
+        let q = QueryEngine::open(&path)?;
+        booters_obs::span!("group");
+        let (weeks, stats) = q.weekly_attacks(&Predicate::all(), VictimKey::ByIp)?;
+        let attacks: u64 = weeks.values().sum();
+        Ok(((attacks as f64 / cmds.len() as f64).min(1.0), stats))
+    })();
+    let _ = std::fs::remove_file(&path);
+    result
 }
 
 #[cfg(test)]
@@ -555,6 +611,43 @@ mod tests {
             "tiny queues should exercise typed backpressure"
         );
         assert_eq!(stats.late_packets, 0);
+        assert_eq!(s.honeypot.global.values(), baseline.honeypot.global.values());
+        assert_eq!(
+            s.ground_truth.global.values(),
+            baseline.ground_truth.global.values()
+        );
+        for (a, b) in s
+            .honeypot
+            .by_protocol
+            .iter()
+            .zip(baseline.honeypot.by_protocol.iter())
+        {
+            assert_eq!(a.values(), b.values());
+        }
+    }
+
+    #[test]
+    fn query_backed_full_packets_matches_in_memory_bit_for_bit() {
+        let mut cfg = small_config(Fidelity::FullPackets { per_week: 40 });
+        // Short window: 8 weeks (as the in-memory full-packet test).
+        cfg.market.calibration.scenario_start = Date::new(2018, 9, 3);
+        cfg.market.calibration.scenario_end = Date::new(2018, 10, 29);
+        let baseline = Scenario::run(cfg.clone());
+        assert!(baseline.query_stats.is_none());
+
+        let mut query_cfg = cfg;
+        query_cfg.query = Some(QueryConfig {
+            chunk_capacity: 256, // tiny: every week spans several chunks
+            ..QueryConfig::default()
+        });
+        let s = Scenario::run(query_cfg);
+        let stats = s.query_stats.expect("query path ran");
+        assert!(stats.scans >= 8, "scans={}", stats.scans);
+        assert!(stats.chunks_total > 8, "chunks_total={}", stats.chunks_total);
+        assert_eq!(
+            stats.rows_returned, stats.rows_scanned,
+            "Predicate::all() keeps every scanned row"
+        );
         assert_eq!(s.honeypot.global.values(), baseline.honeypot.global.values());
         assert_eq!(
             s.ground_truth.global.values(),

@@ -1,0 +1,159 @@
+//! Columnar aggregation surfaces: the result types the engine's
+//! no-materialization kernels produce.
+//!
+//! The kernels themselves live on [`QueryEngine`](crate::QueryEngine)
+//! (they need the store file); this module holds the numeric column
+//! selector and the week × (country, protocol) panel — the shape the
+//! GLM stage's weekly datasets are built from.
+
+use booters_netsim::{Country, UdpProtocol, VictimAddr};
+use booters_store::ChunkColumns;
+use std::collections::BTreeMap;
+
+/// Seconds per analysis week — scenario time 0 is week 0's Monday, so a
+/// packet's week is simply `time / WEEK_SECS` (the same bucketing the
+/// streaming roller in `booters-serve` uses).
+pub const WEEK_SECS: u64 = 7 * 86_400;
+
+/// A numeric packet column the [`sum`](crate::QueryEngine::sum) and
+/// [`min_max`](crate::QueryEngine::min_max) kernels can fold, widened
+/// to `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Column {
+    /// Packet time (seconds).
+    Time,
+    /// Victim address key.
+    Victim,
+    /// Sensor id.
+    Sensor,
+    /// Received TTL.
+    Ttl,
+    /// Spoofed source port.
+    SrcPort,
+}
+
+impl Column {
+    /// The value of this column at position `i`.
+    pub(crate) fn value_at(&self, cols: &ChunkColumns, i: usize) -> u64 {
+        match self {
+            Column::Time => cols.times[i],
+            Column::Victim => cols.victims[i] as u64,
+            Column::Sensor => cols.sensors[i] as u64,
+            Column::Ttl => cols.ttls[i] as u64,
+            Column::SrcPort => cols.ports[i] as u64,
+        }
+    }
+}
+
+/// The weekly measurement panel: packet counts per
+/// `(week, country, protocol)` cell, produced by
+/// [`group_by_week`](crate::QueryEngine::group_by_week) without ever
+/// materializing a row. Countries come from the victim address's /8
+/// block ([`VictimAddr::country`]); cells are a `BTreeMap`, so
+/// iteration (and the CSV rendering) is deterministic, and per-chunk
+/// partial panels merge by commutative addition — thread-count
+/// invariant by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WeeklyPanel {
+    /// `(week, country index, protocol index) → packets`. Indices are
+    /// into [`Country::ALL`] / [`UdpProtocol::ALL`].
+    pub cells: BTreeMap<(u64, u8, u8), u64>,
+}
+
+impl WeeklyPanel {
+    /// Partial panel of the rows of `cols` selected by `sel`.
+    pub(crate) fn of_selection(cols: &ChunkColumns, sel: &[u32]) -> WeeklyPanel {
+        let mut panel = WeeklyPanel::default();
+        for &i in sel {
+            let i = i as usize;
+            let week = cols.times[i] / WEEK_SECS;
+            let country = VictimAddr(cols.victims[i]).country().index() as u8;
+            *panel
+                .cells
+                .entry((week, country, cols.protocols[i]))
+                .or_insert(0) += 1;
+        }
+        panel
+    }
+
+    /// Fold another partial panel in (cell-wise addition).
+    pub fn absorb(&mut self, other: &WeeklyPanel) {
+        for (k, v) in &other.cells {
+            *self.cells.entry(*k).or_insert(0) += v;
+        }
+    }
+
+    /// Total packets across all cells.
+    pub fn total(&self) -> u64 {
+        self.cells.values().sum()
+    }
+
+    /// The distinct week numbers present, ascending.
+    pub fn weeks(&self) -> Vec<u64> {
+        let mut w: Vec<u64> = self.cells.keys().map(|k| k.0).collect();
+        w.dedup();
+        w
+    }
+
+    /// Packets in one week across all countries and protocols.
+    pub fn week_total(&self, week: u64) -> u64 {
+        self.cells
+            .range((week, 0, 0)..=(week, u8::MAX, u8::MAX))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Render as CSV (`week,country,protocol,packets`), one row per
+    /// non-empty cell in key order — a stable artifact for goldens and
+    /// the paged report tables.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("week,country,protocol,packets\n");
+        for ((week, ci, pi), n) in &self.cells {
+            out.push_str(&format!(
+                "{week},{},{},{n}\n",
+                Country::ALL[*ci as usize].label(),
+                UdpProtocol::ALL[*pi as usize].label()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel(cells: &[((u64, u8, u8), u64)]) -> WeeklyPanel {
+        WeeklyPanel {
+            cells: cells.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn absorb_adds_cell_wise_and_commutes() {
+        let a = panel(&[((0, 1, 2), 5), ((1, 0, 0), 7)]);
+        let b = panel(&[((0, 1, 2), 3), ((2, 3, 4), 1)]);
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.cells[&(0, 1, 2)], 8);
+        assert_eq!(ab.total(), 16);
+        assert_eq!(ab.weeks(), vec![0, 1, 2]);
+        assert_eq!(ab.week_total(0), 8);
+        assert_eq!(ab.week_total(5), 0);
+    }
+
+    #[test]
+    fn csv_rendering_is_deterministic_and_labelled() {
+        let p = panel(&[((1, 0, 0), 2), ((0, 2, 3), 9)]);
+        let csv = p.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "week,country,protocol,packets");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0,"), "key order: week 0 first");
+        assert!(lines[1].ends_with(",9"));
+        assert_eq!(p.to_csv(), csv);
+    }
+}

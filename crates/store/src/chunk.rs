@@ -191,9 +191,63 @@ pub fn encode_chunk(packets: &[SensorPacket]) -> Vec<u8> {
     out
 }
 
-/// Decode one chunk produced by [`encode_chunk`]. Pure — safe to fan out
-/// over `booters-par` (the store readers do exactly that).
-pub fn decode_chunk(bytes: &[u8]) -> Result<Vec<SensorPacket>, StoreError> {
+/// The decoded columns of one chunk, before any row is materialized.
+///
+/// This is the late-materialization surface the query layer scans:
+/// predicates are evaluated straight against these vectors, and whole
+/// [`SensorPacket`] rows are only built (via [`ChunkColumns::materialize`])
+/// for the positions that survive. All six columns have the same length
+/// and position `i` across them is one packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkColumns {
+    /// Packet times (seconds).
+    pub times: Vec<u64>,
+    /// Victim addresses as raw `u32` keys (see [`VictimAddr`]).
+    pub victims: Vec<u32>,
+    /// Protocol indices into [`UdpProtocol::ALL`].
+    pub protocols: Vec<u8>,
+    /// Sensor ids.
+    pub sensors: Vec<u32>,
+    /// Received TTLs.
+    pub ttls: Vec<u8>,
+    /// Spoofed source ports.
+    pub ports: Vec<u16>,
+}
+
+impl ChunkColumns {
+    /// Rows in the chunk.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the chunk holds no rows (never true for a valid chunk —
+    /// writers do not emit empty chunks).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Build the full [`SensorPacket`] at position `i`.
+    ///
+    /// # Panics
+    /// If `i >= self.len()`.
+    pub fn materialize(&self, i: usize) -> SensorPacket {
+        SensorPacket {
+            time: self.times[i],
+            victim: VictimAddr(self.victims[i]),
+            protocol: UdpProtocol::ALL[self.protocols[i] as usize],
+            sensor: self.sensors[i],
+            ttl: self.ttls[i],
+            src_port: self.ports[i],
+        }
+    }
+}
+
+/// Decode one chunk produced by [`encode_chunk`] into its six columns
+/// without materializing any rows. Pure — safe to fan out over
+/// `booters-par` (the store readers and the query engine do exactly
+/// that). Performs the full validation chain: CRC, per-column domain
+/// checks, and the zone map against the decoded column data.
+pub fn decode_chunk_columns(bytes: &[u8]) -> Result<ChunkColumns, StoreError> {
     if bytes.len() < 4 {
         return Err(StoreError::corrupt("chunk shorter than its checksum"));
     }
@@ -237,25 +291,43 @@ pub fn decode_chunk(bytes: &[u8]) -> Result<Vec<SensorPacket>, StoreError> {
     if pos != payload.len() {
         return Err(StoreError::corrupt("chunk has trailing bytes"));
     }
-    let mut packets = Vec::with_capacity(n);
-    for i in 0..n {
-        packets.push(SensorPacket {
-            time: times[i],
-            victim: VictimAddr(victims[i] as u32),
-            protocol: UdpProtocol::ALL[protocols[i] as usize],
-            sensor: sensors[i] as u32,
-            ttl: ttls[i] as u8,
-            src_port: ports[i] as u16,
-        });
-    }
     // The zone map is load-bearing (readers prune on it without decoding),
-    // so a mismatch with the decoded data is corruption, not a quirk.
-    if ZoneMap::of(&packets) != declared {
+    // so a mismatch with the decoded data is corruption, not a quirk. It
+    // only involves the time and victim columns, so it can be checked
+    // before any row exists.
+    let mut actual_zone = ZoneMap {
+        min_time: u64::MAX,
+        max_time: 0,
+        min_victim: u32::MAX,
+        max_victim: 0,
+    };
+    for i in 0..n {
+        actual_zone.min_time = actual_zone.min_time.min(times[i]);
+        actual_zone.max_time = actual_zone.max_time.max(times[i]);
+        let v = victims[i] as u32;
+        actual_zone.min_victim = actual_zone.min_victim.min(v);
+        actual_zone.max_victim = actual_zone.max_victim.max(v);
+    }
+    if actual_zone != declared {
         return Err(StoreError::corrupt("zone map disagrees with chunk data"));
     }
     booters_obs::counter_add("store.chunks_decoded", 1);
     booters_obs::counter_add("store.packets_decoded", n as u64);
-    Ok(packets)
+    Ok(ChunkColumns {
+        times,
+        victims: victims.into_iter().map(|v| v as u32).collect(),
+        protocols: protocols.into_iter().map(|v| v as u8).collect(),
+        sensors: sensors.into_iter().map(|v| v as u32).collect(),
+        ttls: ttls.into_iter().map(|v| v as u8).collect(),
+        ports: ports.into_iter().map(|v| v as u16).collect(),
+    })
+}
+
+/// Decode one chunk produced by [`encode_chunk`]. Pure — safe to fan out
+/// over `booters-par` (the store readers do exactly that).
+pub fn decode_chunk(bytes: &[u8]) -> Result<Vec<SensorPacket>, StoreError> {
+    let cols = decode_chunk_columns(bytes)?;
+    Ok((0..cols.len()).map(|i| cols.materialize(i)).collect())
 }
 
 #[cfg(test)]

@@ -36,7 +36,10 @@ pub mod reader;
 pub mod varint;
 pub mod writer;
 
-pub use chunk::{decode_chunk, encode_chunk, ZoneMap, DEFAULT_CHUNK_CAPACITY};
+pub use chunk::{
+    decode_chunk, decode_chunk_columns, encode_chunk, ChunkColumns, ZoneMap,
+    DEFAULT_CHUNK_CAPACITY,
+};
 pub use crc32::{crc32, crc32_bytewise};
 pub use error::StoreError;
 pub use extsort::{

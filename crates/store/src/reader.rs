@@ -203,26 +203,72 @@ impl ChunkReader {
         Ok((bytes, base, end_chunk))
     }
 
+    /// The zone map of chunk `i`, or `None` past the end of the index.
+    ///
+    /// Zone maps are the scan-pruning metadata: per-chunk min/max packet
+    /// time and min/max victim key, written by the ingest path and kept
+    /// in the footer so a reader can decide — without any chunk I/O —
+    /// that a chunk cannot contain a row matching a time or victim
+    /// predicate. The query layer (`booters-query`) plans on exactly
+    /// this surface; [`chunks_overlapping_time`](Self::chunks_overlapping_time)
+    /// and [`chunks_for_victim`](Self::chunks_for_victim) are convenience
+    /// filters over it.
+    pub fn zone(&self, i: usize) -> Option<&ZoneMap> {
+        self.index.get(i).map(|c| &c.zone)
+    }
+
+    /// Store-wide packet-time bounds `(min, max)` folded over every
+    /// chunk's zone map, or `None` for an empty store. Footer metadata
+    /// only — no chunk I/O.
+    pub fn time_bounds(&self) -> Option<(u64, u64)> {
+        self.index.iter().fold(None, |acc, c| match acc {
+            None => Some((c.zone.min_time, c.zone.max_time)),
+            Some((lo, hi)) => Some((lo.min(c.zone.min_time), hi.max(c.zone.max_time))),
+        })
+    }
+
+    /// Store-wide victim-key bounds `(min, max)` folded over every
+    /// chunk's zone map, or `None` for an empty store. Footer metadata
+    /// only — no chunk I/O.
+    pub fn victim_bounds(&self) -> Option<(u32, u32)> {
+        self.index.iter().fold(None, |acc, c| match acc {
+            None => Some((c.zone.min_victim, c.zone.max_victim)),
+            Some((lo, hi)) => Some((lo.min(c.zone.min_victim), hi.max(c.zone.max_victim))),
+        })
+    }
+
     /// Read and decode one chunk.
     pub fn read_chunk(&mut self, i: usize) -> Result<Vec<SensorPacket>, StoreError> {
         decode_chunk(&self.raw_chunk(i)?)
     }
 
-    /// Decode the whole store: chunk bytes are read sequentially (I/O),
-    /// then decoded on the `booters-par` executor. Results merge in
-    /// submission order and the earliest failing chunk's error wins, so
-    /// output and errors are identical at every `BOOTERS_THREADS`
-    /// setting.
-    pub fn read_all(&mut self) -> Result<Vec<SensorPacket>, StoreError> {
-        let raw: Vec<Vec<u8>> = (0..self.chunk_count())
-            .map(|i| self.raw_chunk(i))
+    /// Selectively decode the chunks named by `indices` (for example a
+    /// zone-map-pruned plan): raw bytes are read sequentially (I/O),
+    /// then decoded on the `booters-par` executor, one chunk per work
+    /// item. The output preserves `indices` order — element `j` is the
+    /// decoded chunk `indices[j]` — results merge in submission order
+    /// and the earliest failing chunk's error wins, so output and errors
+    /// are identical at every `BOOTERS_THREADS` setting.
+    pub fn read_chunks(&mut self, indices: &[usize]) -> Result<Vec<Vec<SensorPacket>>, StoreError> {
+        let raw: Vec<Vec<u8>> = indices
+            .iter()
+            .map(|&i| self.raw_chunk(i))
             .collect::<Result<_, _>>()?;
         // Coarse fan-out: items are whole-chunk decodes — heavy enough
         // that even a handful justify workers.
-        let decoded = booters_par::par_map_coarse(&raw, |bytes| decode_chunk(bytes));
+        booters_par::par_map_coarse(&raw, |bytes| decode_chunk(bytes))
+            .into_iter()
+            .collect()
+    }
+
+    /// Decode the whole store: equivalent to [`read_chunks`](Self::read_chunks)
+    /// over every chunk index, flattened in store order.
+    pub fn read_all(&mut self) -> Result<Vec<SensorPacket>, StoreError> {
+        let all: Vec<usize> = (0..self.chunk_count()).collect();
+        let decoded = self.read_chunks(&all)?;
         let mut out = Vec::with_capacity(self.total_packets as usize);
         for chunk in decoded {
-            out.extend(chunk?);
+            out.extend(chunk);
         }
         Ok(out)
     }
@@ -353,6 +399,44 @@ mod tests {
         assert_eq!(r.chunks_for_victim(VictimAddr(5)), vec![0]);
         assert_eq!(r.chunks_for_victim(VictimAddr(105)), vec![1]);
         assert!(r.chunks_for_victim(VictimAddr(50)).is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn selective_read_chunks_matches_per_chunk_reads() {
+        let packets: Vec<SensorPacket> = (0..640u64).map(|i| pkt(i * 5, (i % 40) as u32)).collect();
+        let path = write_store("reader_selective", &packets, 64);
+        let mut r = ChunkReader::open(&path).unwrap();
+        assert_eq!(r.chunk_count(), 10);
+        // An arbitrary, non-contiguous plan decodes exactly the named
+        // chunks, in plan order.
+        let plan = [7usize, 0, 3];
+        let got = r.read_chunks(&plan).unwrap();
+        assert_eq!(got.len(), plan.len());
+        for (j, &i) in plan.iter().enumerate() {
+            assert_eq!(got[j], r.read_chunk(i).unwrap(), "chunk {i}");
+        }
+        // The empty plan decodes nothing and is not an error.
+        assert!(r.read_chunks(&[]).unwrap().is_empty());
+        // Out-of-range indices surface as typed corruption errors.
+        assert!(r.read_chunks(&[99]).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zone_accessors_expose_footer_metadata() {
+        let mut packets: Vec<SensorPacket> = (0..100u64).map(|i| pkt(i, (i % 10) as u32)).collect();
+        packets.extend((0..100u64).map(|i| pkt(1000 + i, 100 + (i % 10) as u32)));
+        let path = write_store("reader_zones", &packets, 100);
+        let r = ChunkReader::open(&path).unwrap();
+        let z0 = r.zone(0).unwrap();
+        assert_eq!((z0.min_time, z0.max_time), (0, 99));
+        assert_eq!((z0.min_victim, z0.max_victim), (0, 9));
+        let z1 = r.zone(1).unwrap();
+        assert_eq!((z1.min_time, z1.max_time), (1000, 1099));
+        assert!(r.zone(2).is_none());
+        assert_eq!(r.time_bounds(), Some((0, 1099)));
+        assert_eq!(r.victim_bounds(), Some((0, 109)));
         std::fs::remove_file(&path).unwrap();
     }
 

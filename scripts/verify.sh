@@ -107,4 +107,25 @@ cmp out/table2.batch.txt out/table2.serve.txt || {
 }
 test -s out/serve.txt || { echo "verify: out/serve.txt missing or empty" >&2; exit 1; }
 
+# Eighth pass: the pushdown-equivalence contract (DESIGN.md §5h) at the
+# artifact level. repro_query runs the full-packet chain through the
+# batch pipeline and the booters-query scratch-store path (zone-map
+# pruning, late materialization), writes both renderings, and asserts
+# them equal in-process; cmp re-checks the written bytes here so a
+# broken artifact writer can't mask a divergence. BOOTERS_THREADS=4 puts
+# the per-chunk decode fan-out on real worker threads.
+echo "==> repro_query smoke: pushdown vs batch artifact diff (offline, scale 0.05, BOOTERS_THREADS=4)"
+BOOTERS_THREADS=4 \
+    cargo run --release --offline -p booters-bench --bin repro_query -- 0.05 >/dev/null
+cmp out/table1.qbatch.txt out/table1.query.txt || {
+    echo "verify: query-backed Table 1 differs from the batch pipeline" >&2
+    exit 1
+}
+cmp out/table2.qbatch.txt out/table2.query.txt || {
+    echo "verify: query-backed Table 2 differs from the batch pipeline" >&2
+    exit 1
+}
+test -s out/query.txt || { echo "verify: out/query.txt missing or empty" >&2; exit 1; }
+test -s out/query_panel.csv || { echo "verify: out/query_panel.csv missing or empty" >&2; exit 1; }
+
 echo "==> verify: OK"

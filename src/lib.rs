@@ -24,6 +24,7 @@
 //! | [`store`] | chunked columnar on-disk packet store + out-of-core flow grouping |
 //! | [`obs`] | zero-dependency span timers + metric counters, off by default (`BOOTERS_OBS=1`) |
 //! | [`serve`] | streaming ingest: sharded intake, watermark-driven flow expiry, rolling warm-started refits |
+//! | [`query`] | predicate-pushdown query engine over the store: zone-map pruning, late materialization, columnar aggregation, concurrent readers |
 //!
 //! Parallelism never changes results: every report is byte-identical at
 //! any `BOOTERS_THREADS` setting (see DESIGN.md, "Determinism contract").
@@ -57,6 +58,7 @@ pub use booters_market as market;
 pub use booters_netsim as netsim;
 pub use booters_obs as obs;
 pub use booters_par as par;
+pub use booters_query as query;
 pub use booters_serve as serve;
 pub use booters_stats as stats;
 pub use booters_store as store;

@@ -1,0 +1,141 @@
+//! Golden equivalence tests for the booters-query pushdown path.
+//!
+//! The acceptance bar for the query subsystem (DESIGN.md §5h): routing
+//! the full-packet measurement chain through a scratch columnar store
+//! and the predicate-pushdown engine — zone-map planning, selective
+//! chunk decode, late row materialization — must leave every analysis
+//! output **byte-identical** to the batch in-memory pipeline, across
+//! thread counts and with every fast kernel forced back to its scalar
+//! oracle.
+//!
+//! The query run must also do *real* query work, asserted: one scan per
+//! full-packet week, stores that span multiple chunks, and conservation
+//! of the planner's accounting (pruned + decoded = total).
+
+use booting_the_booters::core::pipeline::{build_dataset_query, fit_global, PipelineConfig};
+use booting_the_booters::core::report::{table1, table2};
+use booting_the_booters::core::scenario::{Fidelity, Scenario, ScenarioConfig};
+use booting_the_booters::market::calibration::Calibration;
+use booting_the_booters::market::market::MarketConfig;
+use booting_the_booters::par::{with_scalar_kernels, with_threads};
+use booting_the_booters::query::QueryConfig;
+use booting_the_booters::timeseries::Date;
+
+const QUERY_SEED: u64 = 0x09_0E5;
+
+/// Full-packet scenario over exactly the paper's modelling window
+/// (June 2016 – April 2019), small weekly command sample so the whole
+/// chain stays test-sized. Identical shape to the store- and
+/// serve-equivalence goldens so all three subsystems are held to the
+/// same bar.
+fn config() -> ScenarioConfig {
+    let cal = Calibration {
+        scenario_start: Date::new(2016, 6, 6),
+        scenario_end: Date::new(2019, 4, 1),
+        ..Calibration::default()
+    };
+    ScenarioConfig {
+        market: MarketConfig {
+            calibration: cal,
+            scale: 0.05,
+            seed: QUERY_SEED,
+            ..MarketConfig::default()
+        },
+        fidelity: Fidelity::FullPackets { per_week: 4 },
+        ..ScenarioConfig::default()
+    }
+}
+
+fn render_tables(s: &Scenario) -> (String, String) {
+    let cal = Calibration::default();
+    let cfg = PipelineConfig::default();
+    let t1 = table1(&fit_global(&s.honeypot, &cal, &cfg).expect("global fit"));
+    let t2 = table2(&s.honeypot, &cal, &cfg).expect("country fits");
+    (t1, t2)
+}
+
+fn query_config() -> QueryConfig {
+    QueryConfig {
+        // Small chunks so every week's scratch store spans several of
+        // them and the engine's per-chunk fan-out genuinely runs.
+        chunk_capacity: 512,
+        ..QueryConfig::default()
+    }
+}
+
+#[test]
+fn query_tables_are_byte_identical_across_threads_and_kernels() {
+    // Batch in-memory reference, sequential, fast kernels.
+    let (ref_t1, ref_t2) = with_threads(1, || render_tables(&Scenario::run(config())));
+    assert!(ref_t1.contains("Xmas 2018 event"));
+    assert!(ref_t2.contains("Overall"));
+
+    for threads in [1usize, 4] {
+        for scalar in [false, true] {
+            let (t1, t2, stats) = with_threads(threads, || {
+                with_scalar_kernels(scalar, || {
+                    let s = build_dataset_query(config(), query_config())
+                        .expect("query-backed scenario");
+                    let stats = s.query_stats.expect("query path ran");
+                    let (t1, t2) = render_tables(&s);
+                    (t1, t2, stats)
+                })
+            });
+            // Real query work, not a degenerate pass-through: the window
+            // spans ~148 weeks, each written and scanned as its own store.
+            assert!(
+                stats.scans >= 3,
+                "threads={threads} scalar={scalar}: only {} scans",
+                stats.scans
+            );
+            assert!(
+                stats.chunks_total > stats.scans,
+                "threads={threads} scalar={scalar}: single-chunk stores \
+                 ({} chunks over {} scans)",
+                stats.chunks_total,
+                stats.scans
+            );
+            assert_eq!(
+                stats.chunks_pruned + stats.chunks_decoded,
+                stats.chunks_total,
+                "threads={threads} scalar={scalar}: planner accounting leak"
+            );
+            assert!(stats.rows_returned > 0);
+            assert!(
+                t1 == ref_t1,
+                "Table 1 differs from the batch path at threads={threads} scalar={scalar}:\n\
+                 --- batch ---\n{ref_t1}\n--- query ---\n{t1}"
+            );
+            assert!(
+                t2 == ref_t2,
+                "Table 2 differs from the batch path at threads={threads} scalar={scalar}:\n\
+                 --- batch ---\n{ref_t2}\n--- query ---\n{t2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn query_stats_are_thread_invariant() {
+    // QueryStats are part of the determinism contract: pruning decisions
+    // depend only on the footer and per-chunk work is summed in
+    // submission order, so every counter is identical at any thread
+    // count and kernel selection.
+    let base = with_threads(1, || {
+        build_dataset_query(config(), query_config())
+            .expect("query-backed scenario")
+            .query_stats
+            .expect("query path ran")
+    });
+    for threads in [2usize, 4] {
+        let stats = with_threads(threads, || {
+            with_scalar_kernels(true, || {
+                build_dataset_query(config(), query_config())
+                    .expect("query-backed scenario")
+                    .query_stats
+                    .expect("query path ran")
+            })
+        });
+        assert_eq!(stats, base, "QueryStats drifted at threads={threads}");
+    }
+}
