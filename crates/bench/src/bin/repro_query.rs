@@ -114,12 +114,13 @@ fn canned_queries_report() -> (String, String) {
         let (n, st) = eng.count(pred).expect("count");
         let _ = writeln!(
             report,
-            "  {name}: {n} rows; pruned {}/{} chunks ({:.0}%), {} covered, {} decoded",
+            "  {name}: {n} rows; pruned {}/{} chunks ({:.0}%), {} covered, {} decoded, {} cached",
             st.chunks_pruned,
             st.chunks_total,
             pct(st.chunks_pruned, st.chunks_total),
             st.chunks_covered,
             st.chunks_decoded,
+            st.chunks_cached,
         );
     }
 
@@ -170,20 +171,23 @@ fn main() {
     let (canned, panel_csv) = canned_queries_report();
 
     let report = format!(
-        "query-backed weeks: {} scans over {} chunks, {} pruned / {} covered / {} decoded\n\
+        "query-backed weeks: {} scans over {} chunks, {} pruned / {} covered / {} decoded / {} cached\n\
          rows: {} scanned, {} returned\n\
          wall time: batch {:.2}s vs query-backed {:.2}s\n\
          Tables 1 and 2 byte-identical across both paths: yes\n\
+         decoded-chunk cache budget: {} bytes\n\
          \n{canned}",
         stats.scans,
         stats.chunks_total,
         stats.chunks_pruned,
         stats.chunks_covered,
         stats.chunks_decoded,
+        stats.chunks_cached,
         stats.rows_scanned,
         stats.rows_returned,
         t_batch,
         t_query,
+        booters_store::cache_bytes(),
     );
     assert!(stats.scans >= 3, "expected real query-backed weeks");
 

@@ -245,6 +245,13 @@ pub fn sort_flows(flows: &mut [Flow]) {
     }
 }
 
+/// Minimum packets per configured thread before [`group_flows_par`]
+/// shards: below this, the up-front bucketing copy costs more than the
+/// grouping it parallelises (measured break-even is in the tens of
+/// thousands of packets per shard; this sits safely under it while
+/// still refusing clearly-losing splits).
+pub const MIN_PACKETS_PER_SHARD: usize = 8192;
+
 /// Group a packet trace into flows on the configured thread count,
 /// sharded by victim/protocol key and merged deterministically.
 ///
@@ -254,9 +261,22 @@ pub fn sort_flows(flows: &mut [Flow]) {
 /// merged output — canonicalised by [`sort_flows`] — is **bit-identical**
 /// at every thread count, including the sequential `threads = 1` path,
 /// which runs one plain [`FlowGrouper`] exactly like [`classify_flows`].
+///
+/// Sharding is size-aware: bucketing copies every packet up front, so
+/// the parallel path only engages when worker threads can genuinely run
+/// concurrently ([`booters_par::hardware_parallelism`] > 1) **and** the
+/// trace is large enough for each shard to amortise that copy
+/// ([`MIN_PACKETS_PER_SHARD`] packets per configured thread). Setting
+/// the small-work cutoff to 1 ([`booters_par::with_min_items`] /
+/// `BOOTERS_PAR_MIN_ITEMS=1` — "every batch may go parallel") forces
+/// the sharded path regardless, which is how tests and the verify
+/// recipe pin it on any host. Either path, same bytes.
 pub fn group_flows_par(packets: &[SensorPacket], key: VictimKey) -> Vec<Flow> {
     let threads = booters_par::threads();
-    let mut flows = if threads <= 1 || packets.len() < 2 {
+    let forced = booters_par::min_items() <= 1;
+    let pays = booters_par::hardware_parallelism() > 1
+        && packets.len() >= threads.saturating_mul(MIN_PACKETS_PER_SHARD);
+    let mut flows = if threads <= 1 || packets.len() < 2 || !(forced || pays) {
         let mut grouper = FlowGrouper::with_key(key);
         for p in packets {
             grouper.push(p);
@@ -264,8 +284,12 @@ pub fn group_flows_par(packets: &[SensorPacket], key: VictimKey) -> Vec<Flow> {
         grouper.finish()
     } else {
         // Over-decompose slightly so one hot shard doesn't serialise the
-        // run; the shard count affects scheduling only, never results.
-        let shards = threads * 2;
+        // run, but never below two or past the point where shards drop
+        // under the per-shard minimum; the shard count affects
+        // scheduling only, never results.
+        let shards = (threads * 2)
+            .min(packets.len().div_ceil(MIN_PACKETS_PER_SHARD))
+            .max(2);
         let mut buckets: Vec<Vec<SensorPacket>> = vec![Vec::new(); shards];
         for p in packets {
             buckets[shard_of(key.canonical(p.victim), p.protocol, shards)].push(*p);
@@ -495,16 +519,24 @@ mod tests {
             baseline.iter().map(|(f, _)| f.clone()).collect::<Vec<_>>(),
             plain
         );
-        for threads in [2usize, 3, 4, 8] {
-            let par = booters_par::with_threads(threads, || classify_flows_par(&trace));
-            assert_eq!(par, baseline, "threads={threads}");
-        }
+        // min_items = 1 forces the sharded path (the trace is far below
+        // the size-aware cutoff), so this genuinely exercises it.
+        booters_par::with_min_items(1, || {
+            for threads in [2usize, 3, 4, 8] {
+                let par = booters_par::with_threads(threads, || classify_flows_par(&trace));
+                assert_eq!(par, baseline, "threads={threads}");
+            }
+        });
+        // Without the force, a small trace stays on the sequential path —
+        // still byte-identical by the determinism contract.
+        let gated = booters_par::with_threads(4, || classify_flows_par(&trace));
+        assert_eq!(gated, baseline);
     }
 
     #[test]
     fn parallel_grouping_respects_victim_key() {
         // Carpet-bombing trace: by-prefix must merge, by-IP must not —
-        // under the parallel path too.
+        // under the parallel path too (min_items = 1 forces sharding).
         let packets: Vec<SensorPacket> = (0..12u64)
             .map(|i| SensorPacket {
                 time: i,
@@ -515,11 +547,13 @@ mod tests {
                 src_port: 80,
             })
             .collect();
-        booters_par::with_threads(4, || {
-            assert_eq!(group_flows_par(&packets, VictimKey::ByIp).len(), 12);
-            let merged = group_flows_par(&packets, VictimKey::ByPrefix24);
-            assert_eq!(merged.len(), 1);
-            assert_eq!(merged[0].classify(), FlowClass::Attack);
+        booters_par::with_min_items(1, || {
+            booters_par::with_threads(4, || {
+                assert_eq!(group_flows_par(&packets, VictimKey::ByIp).len(), 12);
+                let merged = group_flows_par(&packets, VictimKey::ByPrefix24);
+                assert_eq!(merged.len(), 1);
+                assert_eq!(merged[0].classify(), FlowClass::Attack);
+            });
         });
     }
 

@@ -5,11 +5,11 @@ use crate::agg::{Column, WeeklyPanel, WEEK_SECS};
 use crate::predicate::Predicate;
 use booters_netsim::flow::VictimKey;
 use booters_netsim::{group_flows_par, FlowClass, SensorPacket};
+use booters_store::cache::{self, StoreId};
 use booters_store::reader::ChunkReader;
 use booters_store::{decode_chunk_columns, ChunkColumns, ChunkInfo, StoreError};
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -17,12 +17,32 @@ use std::sync::Arc;
 /// [`QueryEngine::open`], then only ever read.
 #[derive(Debug)]
 struct EngineInner {
+    /// Backing file path — the per-read `open` fallback on non-unix
+    /// targets (and `Debug` context everywhere).
+    #[cfg_attr(unix, allow(dead_code))]
     path: PathBuf,
+    /// Shared read handle: chunk reads are positioned (`pread`-style),
+    /// so concurrent queries on clones share this one descriptor with
+    /// zero cursor state and no per-query `open`.
+    file: File,
     index: Vec<ChunkInfo>,
     /// Byte extent `(offset, len)` of each chunk, precomputed so scan
     /// cursors need no further footer arithmetic.
     extents: Vec<(u64, u64)>,
     total_packets: u64,
+    /// Decoded-chunk cache identity — minted at open, evicted when the
+    /// last clone drops.
+    store_id: StoreId,
+}
+
+impl Drop for EngineInner {
+    fn drop(&mut self) {
+        // Scratch stores are routinely deleted right after their engine
+        // goes away; dropping our entries now keeps the cache free of
+        // dead weight (and ids are never reused, so this is only
+        // hygiene, not correctness).
+        cache::evict_store(self.store_id);
+    }
 }
 
 /// Configuration for query-backed pipeline weeks: where the scratch
@@ -93,6 +113,11 @@ pub struct QueryStats {
     pub chunks_covered: u64,
     /// Chunks actually read and column-decoded.
     pub chunks_decoded: u64,
+    /// Chunks answered from the decoded-chunk cache — planned for
+    /// decode, but served without I/O or varint work (always 0 with
+    /// `BOOTERS_CACHE_BYTES=0`). Conservation: `chunks_pruned +
+    /// chunks_covered + chunks_decoded + chunks_cached = chunks_total`.
+    pub chunks_cached: u64,
     /// Rows examined by column filters (decoded chunks × their rows).
     pub rows_scanned: u64,
     /// Rows matching the predicate (returned, counted, or aggregated).
@@ -107,6 +132,7 @@ impl QueryStats {
         self.chunks_pruned += other.chunks_pruned;
         self.chunks_covered += other.chunks_covered;
         self.chunks_decoded += other.chunks_decoded;
+        self.chunks_cached += other.chunks_cached;
         self.rows_scanned += other.rows_scanned;
         self.rows_returned += other.rows_returned;
     }
@@ -119,6 +145,7 @@ impl QueryStats {
         booters_obs::counter_add("query.chunks_pruned", self.chunks_pruned);
         booters_obs::counter_add("query.chunks_covered", self.chunks_covered);
         booters_obs::counter_add("query.chunks_decoded", self.chunks_decoded);
+        booters_obs::counter_add("query.chunks_cached", self.chunks_cached);
         booters_obs::counter_add("query.rows_scanned", self.rows_scanned);
         booters_obs::counter_add("query.rows_returned", self.rows_returned);
     }
@@ -139,12 +166,17 @@ pub struct ScanResult {
 ///
 /// Opening validates the file exactly as
 /// [`ChunkReader::open`] does (magics, footer
-/// CRC, offset monotonicity) and keeps the footer index behind an
-/// [`Arc`]. Cloning is an `Arc` bump; every query opens its own file
-/// handle, so clones (or one engine shared by reference) support fully
-/// concurrent scans — N readers, zero shared cursors — while per-query
-/// chunk decodes fan out over the `booters-par` executor. Results are
-/// identical at every thread count and kernel setting.
+/// CRC, offset monotonicity) and keeps the footer index — plus one
+/// shared read handle — behind an [`Arc`]. Cloning is an `Arc` bump;
+/// chunk reads are positioned (`pread`-style, no cursor), so clones (or
+/// one engine shared by reference) support fully concurrent scans — N
+/// readers, zero shared state, zero per-query `open`s — while per-query
+/// chunk decodes fan out over the `booters-par` executor. With
+/// `BOOTERS_CACHE_BYTES` set, decoded chunks are served from the
+/// process-wide [`cache`] on repeat access (hits are indistinguishable
+/// from misses in content, order, and errors — DESIGN.md §5i; the
+/// [`QueryStats::chunks_cached`] field accounts for them). Results are
+/// identical at every thread count, kernel setting, and cache budget.
 #[derive(Debug, Clone)]
 pub struct QueryEngine {
     inner: Arc<EngineInner>,
@@ -160,9 +192,11 @@ impl QueryEngine {
         Ok(QueryEngine {
             inner: Arc::new(EngineInner {
                 path: path.as_ref().to_path_buf(),
+                file: File::open(path.as_ref())?,
                 index: reader.index().to_vec(),
                 extents,
                 total_packets: reader.total_packets(),
+                store_id: StoreId::mint(),
             }),
         })
     }
@@ -197,34 +231,77 @@ impl QueryEngine {
         }
     }
 
-    /// Read the raw bytes of every chunk in `plan`, in plan order, on a
-    /// cursor private to this query.
-    fn raw_for(&self, chunks: &[usize]) -> Result<Vec<Vec<u8>>, StoreError> {
-        let mut file = File::open(&self.inner.path)?;
-        chunks
-            .iter()
-            .map(|&i| {
-                let (offset, len) = self.inner.extents[i];
-                let mut bytes = vec![0u8; len as usize];
-                file.seek(SeekFrom::Start(offset))?;
-                file.read_exact(&mut bytes)?;
-                Ok(bytes)
-            })
-            .collect()
+    /// Read chunk `i`'s raw bytes with a positioned read on the shared
+    /// handle — no per-query `open`, no cursor, safe from any thread.
+    fn read_raw(&self, i: usize) -> Result<Vec<u8>, StoreError> {
+        let (offset, len) = self.inner.extents[i];
+        let mut bytes = vec![0u8; len as usize];
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.inner.file.read_exact_at(&mut bytes, offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut file = File::open(&self.inner.path)?;
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut bytes)?;
+        }
+        Ok(bytes)
     }
 
     /// Decode the planned chunks as columns and fold each through `f`
     /// (decode + fold fused into one `par_map_coarse` work item per
     /// chunk; submission-order reduction keeps results deterministic).
+    ///
+    /// Chunks resident in the decoded-chunk cache skip both the read and
+    /// the decode — `f` runs on the cached columns, which are identical
+    /// to a fresh decode by construction (DESIGN.md §5i). Element `j` of
+    /// the result is `(f's value, was chunk j a cache hit)`. Lookups
+    /// happen before the parallel region and misses publish after it, in
+    /// plan order, so cache state — and with it every `cache.*` counter —
+    /// is a pure function of the query sequence, never of the schedule.
     fn fold_chunks<R: Send>(
         &self,
         chunks: &[usize],
         f: impl Fn(&ChunkColumns) -> R + Sync,
-    ) -> Result<Vec<R>, StoreError> {
-        let raw = self.raw_for(chunks)?;
-        booters_par::par_map_coarse(&raw, |bytes| decode_chunk_columns(bytes).map(|c| f(&c)))
-            .into_iter()
-            .collect()
+    ) -> Result<Vec<(R, bool)>, StoreError> {
+        enum Slot {
+            Hit(Arc<ChunkColumns>),
+            Raw(Vec<u8>),
+        }
+        let id = self.inner.store_id;
+        let slots: Vec<Slot> = chunks
+            .iter()
+            .map(|&i| match cache::lookup(id, i) {
+                Some(cols) => Ok(Slot::Hit(cols)),
+                None => self.read_raw(i).map(Slot::Raw),
+            })
+            .collect::<Result<_, _>>()?;
+        let folded = booters_par::par_map_coarse(
+            &slots,
+            |slot| -> Result<(R, Option<Arc<ChunkColumns>>), StoreError> {
+                match slot {
+                    Slot::Hit(cols) => Ok((f(cols), None)),
+                    Slot::Raw(bytes) => {
+                        let cols = Arc::new(decode_chunk_columns(bytes)?);
+                        let out = f(&cols);
+                        Ok((out, Some(cols)))
+                    }
+                }
+            },
+        );
+        let mut out = Vec::with_capacity(chunks.len());
+        for (j, item) in folded.into_iter().enumerate() {
+            let (value, fresh): (R, Option<Arc<ChunkColumns>>) = item?;
+            let cached = fresh.is_none();
+            if let Some(cols) = fresh {
+                cache::publish(id, chunks[j], &cols);
+            }
+            out.push((value, cached));
+        }
+        Ok(out)
     }
 
     /// Positions in `cols` matching `pred` — the selection vector the
@@ -258,8 +335,12 @@ impl QueryEngine {
         })?;
         let mut stats = self.base_stats(&plan);
         let mut rows = Vec::new();
-        for (chunk_rows, scanned) in per_chunk {
-            stats.chunks_decoded += 1;
+        for ((chunk_rows, scanned), cached) in per_chunk {
+            if cached {
+                stats.chunks_cached += 1;
+            } else {
+                stats.chunks_decoded += 1;
+            }
             stats.rows_scanned += scanned;
             stats.rows_returned += chunk_rows.len() as u64;
             rows.extend(chunk_rows);
@@ -291,8 +372,12 @@ impl QueryEngine {
             (Self::select(pred, cols).len() as u64, cols.len() as u64)
         })?;
         let mut matched = covered_rows;
-        for (hits, scanned) in per_chunk {
-            stats.chunks_decoded += 1;
+        for ((hits, scanned), cached) in per_chunk {
+            if cached {
+                stats.chunks_cached += 1;
+            } else {
+                stats.chunks_decoded += 1;
+            }
             stats.rows_scanned += scanned;
             matched += hits;
         }
@@ -313,8 +398,12 @@ impl QueryEngine {
         })?;
         let mut stats = self.base_stats(&plan);
         let mut total = 0u128;
-        for (sum, hits, scanned) in per_chunk {
-            stats.chunks_decoded += 1;
+        for ((sum, hits, scanned), cached) in per_chunk {
+            if cached {
+                stats.chunks_cached += 1;
+            } else {
+                stats.chunks_decoded += 1;
+            }
             stats.rows_scanned += scanned;
             stats.rows_returned += hits;
             total += sum;
@@ -345,8 +434,12 @@ impl QueryEngine {
         })?;
         let mut stats = self.base_stats(&plan);
         let mut bounds: Option<(u64, u64)> = None;
-        for (b, hits, scanned) in per_chunk {
-            stats.chunks_decoded += 1;
+        for ((b, hits, scanned), cached) in per_chunk {
+            if cached {
+                stats.chunks_cached += 1;
+            } else {
+                stats.chunks_decoded += 1;
+            }
             stats.rows_scanned += scanned;
             stats.rows_returned += hits;
             if let Some((lo, hi)) = b {
@@ -377,8 +470,12 @@ impl QueryEngine {
         })?;
         let mut stats = self.base_stats(&plan);
         let mut panel = WeeklyPanel::default();
-        for (p, hits, scanned) in per_chunk {
-            stats.chunks_decoded += 1;
+        for ((p, hits, scanned), cached) in per_chunk {
+            if cached {
+                stats.chunks_cached += 1;
+            } else {
+                stats.chunks_decoded += 1;
+            }
             stats.rows_scanned += scanned;
             stats.rows_returned += hits;
             panel.absorb(&p);

@@ -240,6 +240,13 @@ impl ChunkColumns {
             src_port: self.ports[i],
         }
     }
+
+    /// Build every row, in column order — what [`decode_chunk`] returns,
+    /// factored out so cache hits on already-decoded columns can
+    /// materialize without re-decoding.
+    pub fn materialize_all(&self) -> Vec<SensorPacket> {
+        (0..self.len()).map(|i| self.materialize(i)).collect()
+    }
 }
 
 /// Decode one chunk produced by [`encode_chunk`] into its six columns
@@ -326,8 +333,7 @@ pub fn decode_chunk_columns(bytes: &[u8]) -> Result<ChunkColumns, StoreError> {
 /// Decode one chunk produced by [`encode_chunk`]. Pure — safe to fan out
 /// over `booters-par` (the store readers do exactly that).
 pub fn decode_chunk(bytes: &[u8]) -> Result<Vec<SensorPacket>, StoreError> {
-    let cols = decode_chunk_columns(bytes)?;
-    Ok((0..cols.len()).map(|i| cols.materialize(i)).collect())
+    Ok(decode_chunk_columns(bytes)?.materialize_all())
 }
 
 #[cfg(test)]

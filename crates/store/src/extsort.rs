@@ -544,8 +544,16 @@ impl RunCursor {
     }
 
     /// Decode chunk `next_chunk` out of the batched raw bytes, promoting
-    /// or reading batches as needed.
+    /// or reading batches as needed. A decoded-chunk cache hit (re-merge
+    /// of a run chunk that is still resident) skips the batch machinery
+    /// entirely; misses publish what they decode.
     fn refill(&mut self) -> Result<(), StoreError> {
+        if let Some(cols) = crate::cache::lookup(self.reader.store_id(), self.next_chunk) {
+            self.chunk = cols.materialize_all();
+            self.next_chunk += 1;
+            self.pos = 0;
+            return Ok(());
+        }
         if !self.batch.as_ref().is_some_and(|b| b.covers(self.next_chunk)) {
             let promoted = self.ahead.take().filter(|b| b.covers(self.next_chunk));
             self.batch = Some(match promoted {
@@ -562,7 +570,9 @@ impl RunCursor {
         let (off, len) = self.reader.chunk_extent(self.next_chunk)?;
         let b = self.batch.as_ref().expect("batch covers next_chunk");
         let slice = &b.bytes[(off - b.base) as usize..][..len as usize];
-        self.chunk = crate::chunk::decode_chunk(slice)?;
+        let cols = std::sync::Arc::new(crate::chunk::decode_chunk_columns(slice)?);
+        self.chunk = cols.materialize_all();
+        crate::cache::publish(self.reader.store_id(), self.next_chunk, &cols);
         self.next_chunk += 1;
         self.pos = 0;
         Ok(())
@@ -591,35 +601,53 @@ fn merge_runs(
     key: VictimKey,
     read_bytes: u64,
 ) -> Result<Vec<Flow>, StoreError> {
+    enum FirstSlot {
+        Empty,
+        Hit(std::sync::Arc<crate::chunk::ChunkColumns>),
+        Raw(Vec<u8>),
+    }
     let mut readers: Vec<ChunkReader> = run_files
         .iter()
         .map(ChunkReader::open)
         .collect::<Result<_, _>>()?;
-    let first_raw: Vec<Vec<u8>> = readers
+    let first_raw: Vec<FirstSlot> = readers
         .iter_mut()
         .map(|r| {
             if r.chunk_count() == 0 {
-                Ok(Vec::new())
+                Ok(FirstSlot::Empty)
+            } else if let Some(cols) = crate::cache::lookup(r.store_id(), 0) {
+                Ok(FirstSlot::Hit(cols))
             } else {
-                r.raw_chunk(0)
+                r.raw_chunk(0).map(FirstSlot::Raw)
             }
         })
-        .collect::<Result<_, _>>()?;
+        .collect::<Result<Vec<_>, StoreError>>()?;
     // Coarse fan-out: there are only as many items as runs, each a full
     // chunk decode — exactly the few-but-heavy shape `par_map`'s
     // min-items cutoff would serialise.
-    let first_chunks = booters_par::par_map_coarse(&first_raw, |bytes| {
-        if bytes.is_empty() {
-            Ok(Vec::new())
-        } else {
-            crate::chunk::decode_chunk(bytes)
+    type FirstDecoded = Result<
+        (Vec<SensorPacket>, Option<std::sync::Arc<crate::chunk::ChunkColumns>>),
+        StoreError,
+    >;
+    let first_chunks = booters_par::par_map_coarse(&first_raw, |slot| -> FirstDecoded {
+        match slot {
+            FirstSlot::Empty => Ok((Vec::new(), None)),
+            FirstSlot::Hit(cols) => Ok((cols.materialize_all(), None)),
+            FirstSlot::Raw(bytes) => {
+                let cols = std::sync::Arc::new(crate::chunk::decode_chunk_columns(bytes)?);
+                Ok((cols.materialize_all(), Some(cols)))
+            }
         }
     });
     let mut cursors: Vec<RunCursor> = Vec::with_capacity(readers.len());
     for (reader, chunk) in readers.into_iter().zip(first_chunks) {
+        let (chunk, fresh) = chunk?;
+        if let Some(cols) = fresh {
+            crate::cache::publish(reader.store_id(), 0, &cols);
+        }
         cursors.push(RunCursor {
             reader,
-            chunk: chunk?,
+            chunk,
             pos: 0,
             next_chunk: 1,
             batch: None,
@@ -660,6 +688,11 @@ fn merge_runs(
                 break;
             }
         }
+    }
+    // The run files are deleted after the merge — drop their cache
+    // entries now rather than leaving dead weight for the LRU.
+    for c in &cursors {
+        c.reader.evict_cached();
     }
     Ok(grouper.finish())
 }

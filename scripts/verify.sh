@@ -128,4 +128,32 @@ cmp out/table2.qbatch.txt out/table2.query.txt || {
 test -s out/query.txt || { echo "verify: out/query.txt missing or empty" >&2; exit 1; }
 test -s out/query_panel.csv || { echo "verify: out/query_panel.csv missing or empty" >&2; exit 1; }
 
+# Ninth pass: the cache-coherence contract (DESIGN.md §5i). With an
+# 8 MiB decoded-chunk cache budget, every store read may be served from
+# the cache — and nothing is allowed to change. The golden suites must
+# pass unchanged, and the repro_query artifacts must be byte-identical
+# to the cache-off run pass eight just wrote.
+echo "==> seeded goldens (offline, BOOTERS_CACHE_BYTES=8388608, BOOTERS_THREADS=4)"
+BOOTERS_CACHE_BYTES=8388608 BOOTERS_THREADS=4 \
+    cargo test -q --offline --test smoke_seeded --test store_equivalence \
+    --test query_equivalence --test obs_golden
+echo "==> repro_query smoke: cached vs uncached artifact diff (offline, scale 0.05, BOOTERS_CACHE_BYTES=8388608)"
+cp out/table1.query.txt out/table1.nocache.txt
+cp out/table2.query.txt out/table2.nocache.txt
+BOOTERS_CACHE_BYTES=8388608 BOOTERS_THREADS=4 \
+    cargo run --release --offline -p booters-bench --bin repro_query -- 0.05 >/dev/null
+cmp out/table1.nocache.txt out/table1.query.txt || {
+    echo "verify: query-backed Table 1 differs with the decoded-chunk cache on" >&2
+    exit 1
+}
+cmp out/table2.nocache.txt out/table2.query.txt || {
+    echo "verify: query-backed Table 2 differs with the decoded-chunk cache on" >&2
+    exit 1
+}
+cmp out/table1.qbatch.txt out/table1.query.txt || {
+    echo "verify: cached query-backed Table 1 differs from the batch pipeline" >&2
+    exit 1
+}
+rm -f out/table1.nocache.txt out/table2.nocache.txt
+
 echo "==> verify: OK"

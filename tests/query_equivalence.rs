@@ -19,9 +19,24 @@ use booting_the_booters::market::calibration::Calibration;
 use booting_the_booters::market::market::MarketConfig;
 use booting_the_booters::par::{with_scalar_kernels, with_threads};
 use booting_the_booters::query::QueryConfig;
+use booting_the_booters::store::set_cache_bytes;
 use booting_the_booters::timeseries::Date;
+use std::sync::Mutex;
 
 const QUERY_SEED: u64 = 0x09_0E5;
+
+/// The decoded-chunk cache budget is process-global; tests that set it
+/// (or whose per-chunk stats split depends on it) serialise here and
+/// restore the previous budget on exit, panic included.
+static BUDGET_LOCK: Mutex<()> = Mutex::new(());
+
+struct BudgetRestore(usize);
+
+impl Drop for BudgetRestore {
+    fn drop(&mut self) {
+        set_cache_bytes(self.0);
+    }
+}
 
 /// Full-packet scenario over exactly the paper's modelling window
 /// (June 2016 – April 2019), small weekly command sample so the whole
@@ -65,6 +80,7 @@ fn query_config() -> QueryConfig {
 
 #[test]
 fn query_tables_are_byte_identical_across_threads_and_kernels() {
+    let _g = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // Batch in-memory reference, sequential, fast kernels.
     let (ref_t1, ref_t2) = with_threads(1, || render_tables(&Scenario::run(config())));
     assert!(ref_t1.contains("Xmas 2018 event"));
@@ -96,7 +112,7 @@ fn query_tables_are_byte_identical_across_threads_and_kernels() {
                 stats.scans
             );
             assert_eq!(
-                stats.chunks_pruned + stats.chunks_decoded,
+                stats.chunks_pruned + stats.chunks_decoded + stats.chunks_cached,
                 stats.chunks_total,
                 "threads={threads} scalar={scalar}: planner accounting leak"
             );
@@ -116,7 +132,54 @@ fn query_tables_are_byte_identical_across_threads_and_kernels() {
 }
 
 #[test]
+fn query_tables_are_byte_identical_with_the_chunk_cache_on() {
+    let _g = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Reference run with the cache hard off — budget 0 is bit-for-bit
+    // the uncached read path regardless of BOOTERS_CACHE_BYTES.
+    let _restore = BudgetRestore(set_cache_bytes(0));
+    let (off_t1, off_t2) = with_threads(1, || {
+        let s = build_dataset_query(config(), query_config()).expect("query-backed scenario");
+        render_tables(&s)
+    });
+
+    // Cache on, at a budget comfortably holding every scratch store:
+    // the §5i contract says a hit must be indistinguishable from a miss
+    // in content, order and errors — so every table byte must match the
+    // uncached run at every thread count and kernel selection.
+    set_cache_bytes(8 << 20);
+    for threads in [1usize, 4] {
+        for scalar in [false, true] {
+            let (t1, t2, stats) = with_threads(threads, || {
+                with_scalar_kernels(scalar, || {
+                    let s = build_dataset_query(config(), query_config())
+                        .expect("query-backed scenario");
+                    let stats = s.query_stats.expect("query path ran");
+                    let (t1, t2) = render_tables(&s);
+                    (t1, t2, stats)
+                })
+            });
+            assert_eq!(
+                stats.chunks_pruned + stats.chunks_decoded + stats.chunks_cached,
+                stats.chunks_total,
+                "threads={threads} scalar={scalar}: planner accounting leak with cache on"
+            );
+            assert!(
+                t1 == off_t1,
+                "Table 1 differs with the cache on at threads={threads} scalar={scalar}:\n\
+                 --- cache off ---\n{off_t1}\n--- cache on ---\n{t1}"
+            );
+            assert!(
+                t2 == off_t2,
+                "Table 2 differs with the cache on at threads={threads} scalar={scalar}:\n\
+                 --- cache off ---\n{off_t2}\n--- cache on ---\n{t2}"
+            );
+        }
+    }
+}
+
+#[test]
 fn query_stats_are_thread_invariant() {
+    let _g = BUDGET_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // QueryStats are part of the determinism contract: pruning decisions
     // depend only on the footer and per-chunk work is summed in
     // submission order, so every counter is identical at any thread
