@@ -18,9 +18,10 @@ use booters_core::report::{
     fig7_csv, fig8_csv, table1, table2, table3,
 };
 use booters_core::runreport::{
-    parse_bench_lines, Artifact, BenchRecord, ReportInput, RunManifest,
+    parse_bench_lines, Artifact, BenchRecord, ReportInput, RunManifest, ScenarioSection,
 };
 use booters_core::scenario::{Fidelity, Scenario, ScenarioConfig};
+use booters_core::scenarios::{run_builtin_suite, ScenarioRunConfig};
 use booters_core::verify::{cross_dataset_correlation, render_validation, validate_top_booters};
 use booters_market::calibration::Calibration;
 use booters_market::market::MarketConfig;
@@ -199,6 +200,17 @@ fn main() {
         push("country_models.txt", "per-country model detail", countries);
     }
 
+    eprintln!("running the built-in intervention-scenario suite ...");
+    let scenarios = {
+        booters_obs::span!("scenario_suite");
+        let suite = run_builtin_suite(&ScenarioRunConfig::default()).expect("scenario suite");
+        ScenarioSection {
+            summary_csv: suite.summary_csv(),
+            coefficients_csv: suite.coefficients_csv(),
+            trajectories: suite.trajectories(),
+        }
+    };
+
     let root = workspace_root();
     let bench = read_bench_trajectory(&root);
     let env = ENV_KNOBS
@@ -225,6 +237,7 @@ fn main() {
         },
         snapshot: booters_obs::snapshot(),
         artifacts,
+        scenarios: Some(scenarios),
         bench,
         page_size: booters_core::runreport::page_size_from_env(),
     };

@@ -21,6 +21,11 @@
 //!   the manifest, [`booters_obs`] timings/metrics, every table and
 //!   figure, and the `BENCH_*.json` trajectory (see the `repro_report`
 //!   binary).
+//! * [`scenarios`] — cross-scenario intervention evaluation: run the
+//!   pipeline once per [`booters_market::ScenarioSpec`] (the paper's five
+//!   interventions plus successor-literature what-ifs) and compare the
+//!   outcomes against a shockless baseline (see the `repro_scenarios`
+//!   binary and `SCENARIOS.md`).
 //! * [`verify`] — the §3 self-report validation suite (White's test,
 //!   D'Agostino K², prime-divisibility multiplier check, cross-dataset
 //!   correlation).
@@ -32,8 +37,10 @@ pub mod pipeline;
 pub mod report;
 pub mod runreport;
 pub mod scenario;
+pub mod scenarios;
 pub mod verify;
 
 pub use datasets::{HoneypotDataset, SelfReportDataset};
 pub use pipeline::{CountryResult, GlobalModelResult, PipelineConfig};
 pub use scenario::{Fidelity, Scenario, ScenarioConfig};
+pub use scenarios::{run_builtin_suite, run_scenario, run_suite, ScenarioOutcome, ScenarioRunConfig, ScenarioSuite};

@@ -71,6 +71,20 @@ pub struct BenchRecord {
     pub samples: u64,
 }
 
+/// Pre-rendered cross-scenario comparison block (see
+/// `crate::scenarios`): the caller runs the scenario suite and hands
+/// the renderers its deterministic text outputs plus the weekly
+/// trajectories for sparkline figures.
+#[derive(Debug, Clone)]
+pub struct ScenarioSection {
+    /// Per-scenario summary table (Table-1-style deltas), CSV.
+    pub summary_csv: String,
+    /// Side-by-side coefficient table (scenario × shock window), CSV.
+    pub coefficients_csv: String,
+    /// Named weekly attack trajectories, baseline first.
+    pub trajectories: Vec<(String, Vec<f64>)>,
+}
+
 /// Everything the renderers need, gathered by the caller.
 #[derive(Debug, Clone)]
 pub struct ReportInput {
@@ -80,6 +94,8 @@ pub struct ReportInput {
     pub snapshot: Snapshot,
     /// Rendered artifacts, in display order.
     pub artifacts: Vec<Artifact>,
+    /// Cross-scenario comparison block, when a scenario suite ran.
+    pub scenarios: Option<ScenarioSection>,
     /// Benchmark trajectory, in file order then line order.
     pub bench: Vec<BenchRecord>,
     /// Rows per page in rendered CSV tables (`BOOTERS_QUERY_PAGE`;
@@ -544,6 +560,39 @@ pub fn render_html(input: &ReportInput) -> String {
         h.push_str("</details>");
     }
 
+    // Cross-scenario comparison ---------------------------------------
+    if let Some(s) = &input.scenarios {
+        h.push_str("<h2>Cross-scenario comparison</h2>");
+        h.push_str(
+            "<p class=\"meta\">each intervention programme re-simulated and refit \
+             end-to-end; deltas are against the shockless baseline on the same \
+             seed (see SCENARIOS.md)</p>",
+        );
+        h.push_str("<table class=\"sortable\"><thead><tr><th>scenario</th>\
+             <th>weekly attacks</th></tr></thead><tbody>");
+        for (name, vals) in &s.trajectories {
+            let _ = write!(
+                h,
+                "<tr><td>{}</td><td>{}</td></tr>",
+                esc(name),
+                sparkline_svg_sized(vals, 240.0, 32.0)
+            );
+        }
+        h.push_str("</tbody></table>");
+        let _ = write!(
+            h,
+            "<details open><summary>scenario_summary.csv <small>&mdash; Table-1-style \
+             deltas vs baseline</small></summary>{}</details>",
+            csv_to_html_table(&s.summary_csv, &pager)
+        );
+        let _ = write!(
+            h,
+            "<details open><summary>scenario_coefficients.csv <small>&mdash; \
+             side-by-side fitted shock-window coefficients</small></summary>{}</details>",
+            csv_to_html_table(&s.coefficients_csv, &pager)
+        );
+    }
+
     // Bench trajectory -------------------------------------------------
     h.push_str("<h2>Benchmark trajectory</h2>");
     if input.bench.is_empty() {
@@ -658,6 +707,22 @@ pub fn render_markdown(input: &ReportInput) -> String {
         }
     }
 
+    if let Some(s) = &input.scenarios {
+        md.push_str("\n## Cross-scenario comparison\n");
+        for csv in [&s.summary_csv, &s.coefficients_csv] {
+            md.push('\n');
+            let mut lines = csv.lines();
+            if let Some(header) = lines.next() {
+                let fields = csv_fields(header);
+                let _ = writeln!(md, "| {} |", fields.join(" | "));
+                let _ = writeln!(md, "|{}", "---|".repeat(fields.len()));
+                for line in lines.filter(|l| !l.is_empty()) {
+                    let _ = writeln!(md, "| {} |", csv_fields(line).join(" | "));
+                }
+            }
+        }
+    }
+
     md.push_str("\n## Benchmark trajectory\n\n");
     if input.bench.is_empty() {
         md.push_str("_no BENCH_*.json files found_\n");
@@ -714,6 +779,7 @@ mod tests {
                     body: "week,attacks\n2016-06-06,120\n2016-06-13,133\n".into(),
                 },
             ],
+            scenarios: None,
             bench: parse_bench_lines(
                 "BENCH_glm.json",
                 "{\"name\":\"negbin_fit\",\"median_ns\":1935889,\"mad_ns\":205387,\"samples\":20,\"iters_per_sample\":5}\n\
@@ -831,6 +897,44 @@ mod tests {
             assert_eq!(page_size_from_env(), DEFAULT_PAGE_SIZE);
         }
         assert_eq!(DEFAULT_PAGE_SIZE, 50);
+    }
+
+    #[test]
+    fn scenario_section_renders_when_present() {
+        let input = ReportInput {
+            scenarios: Some(ScenarioSection {
+                summary_csv: "scenario,shocks,total_attacks,delta_vs_baseline_pct,trend,alpha\n\
+                              baseline,0,5000,+0.0,0.0030,0.1400\n\
+                              webstresser,4,4400,-12.0,0.0029,0.1500\n"
+                    .into(),
+                coefficients_csv:
+                    "scenario,window,date,delay_weeks,duration_weeks,coef,mean_pct,lo_pct,hi_pct,p_value\n\
+                     webstresser,s3_demand_shift,2018-04-24,2,3,-0.2357,-21.0,-30.0,-11.0,0.0001\n"
+                        .into(),
+                trajectories: vec![
+                    ("baseline".into(), vec![100.0, 110.0, 105.0]),
+                    ("webstresser".into(), vec![100.0, 90.0, 95.0]),
+                ],
+            }),
+            ..sample_input()
+        };
+        let html = render_html(&input);
+        assert!(html.contains("Cross-scenario comparison"));
+        // One sparkline trajectory per suite entry.
+        assert_eq!(html.matches("width=\"240\"").count(), 2);
+        assert!(html.contains("<td>webstresser</td>"));
+        assert!(html.contains("scenario_summary.csv"));
+        assert!(html.contains("scenario_coefficients.csv"));
+        assert!(html.contains("<td>s3_demand_shift</td>"));
+        // Still fully offline.
+        assert!(!html.contains("http://"));
+        assert!(!html.contains("https://"));
+        let md = render_markdown(&input);
+        assert!(md.contains("## Cross-scenario comparison"));
+        assert!(md.contains("| webstresser | 4 | 4400 | -12.0 |"));
+        // The None arm stays silent.
+        let plain = render_html(&sample_input());
+        assert!(!plain.contains("Cross-scenario comparison"));
     }
 
     #[test]

@@ -8,13 +8,18 @@
 
 use crate::calibration::Calibration;
 use crate::events::{self, EventId, EventKind};
+use crate::shocks::ScenarioSpec;
 use booters_netsim::Country;
 use booters_timeseries::seasonal::{easter_dummy, seasonal_row};
 use booters_timeseries::Date;
 
-/// Expected log intensity of attacks on `country` in the week starting at
-/// `monday` (which must be a Monday; use `Date::week_start`).
-pub fn country_log_intensity(cal: &Calibration, country: Country, monday: Date) -> f64 {
+/// The intervention-free structure every demand variant shares: country
+/// share, seasonality, Easter, era level + trend, and the CN hump. With
+/// `nca` the UK trend flattens during the NCA ad campaign (the paper's
+/// fitted history); without it the trend is purely linear (the
+/// counterfactual scenario baseline — the NCA campaign is itself an
+/// intervention, so scenario runs must not inherit it).
+fn base_structure(cal: &Calibration, country: Country, monday: Date, nca: bool) -> f64 {
     let profile = cal.country(country);
     let mut log_mu = profile.share.ln();
 
@@ -31,7 +36,7 @@ pub fn country_log_intensity(cal: &Calibration, country: Country, monday: Date) 
         log_mu += cal.pre_window_log_level;
     } else {
         log_mu += cal.global.log_level;
-        log_mu += trend_contribution(cal, country, weeks_since_window);
+        log_mu += trend_contribution(cal, country, weeks_since_window, nca);
     }
 
     // China's NTP-era hump (Table 3: CN at over half of world attacks in
@@ -46,6 +51,14 @@ pub fn country_log_intensity(cal: &Calibration, country: Country, monday: Date) 
         let fall = 1.0 / (1.0 + (-w_end / 6.0).exp());
         log_mu += profile.hump_amplitude * (rise - fall).max(0.0);
     }
+
+    log_mu
+}
+
+/// Expected log intensity of attacks on `country` in the week starting at
+/// `monday` (which must be a Monday; use `Date::week_start`).
+pub fn country_log_intensity(cal: &Calibration, country: Country, monday: Date) -> f64 {
+    let mut log_mu = base_structure(cal, country, monday, true);
 
     // The five significant interventions, per-country (Table 2).
     for ic in &cal.interventions {
@@ -78,11 +91,26 @@ pub fn country_log_intensity(cal: &Calibration, country: Country, monday: Date) 
     log_mu
 }
 
+/// Expected log intensity for `country` under a scenario spec: the
+/// intervention-free base structure (no Table 2 windows, no
+/// minor-event dips, no NCA trend break — those are all *interventions*,
+/// which a scenario replaces) plus the spec's composed demand-side
+/// shock deltas ([`ScenarioSpec::log_demand_delta`]).
+pub fn scenario_log_intensity(
+    cal: &Calibration,
+    spec: &ScenarioSpec,
+    country: Country,
+    monday: Date,
+) -> f64 {
+    base_structure(cal, country, monday, false) + spec.log_demand_delta(country, monday)
+}
+
 /// Cumulative trend for `country` after `weeks` weeks in the modelling
-/// window, honouring the UK's NCA-campaign flattening (§4.1/Figure 5).
-fn trend_contribution(cal: &Calibration, country: Country, weeks: f64) -> f64 {
+/// window, honouring the UK's NCA-campaign flattening (§4.1/Figure 5)
+/// unless `nca` is off.
+fn trend_contribution(cal: &Calibration, country: Country, weeks: f64, nca: bool) -> f64 {
     let profile = cal.country(country);
-    if country != Country::Uk {
+    if country != Country::Uk || !nca {
         return profile.weekly_trend * weeks;
     }
     let nca = events::event(EventId::NcaAds);
@@ -252,6 +280,70 @@ mod tests {
         let delta = country_log_intensity(&c, Country::Us, dip_week)
             - country_log_intensity(&c, Country::Us, ref_week);
         assert!((delta - c.minor_event_dip).abs() < 1e-9, "delta={delta}");
+    }
+
+    #[test]
+    fn scenario_baseline_has_no_paper_interventions() {
+        use crate::shocks::ScenarioSpec;
+        let c = cal();
+        let b = ScenarioSpec::baseline();
+        // Xmas2018 window: the fitted history dips, the counterfactual
+        // baseline does not.
+        let before = Date::new(2018, 12, 10);
+        let during = Date::new(2019, 1, 7);
+        let fitted_dip = country_log_intensity(&c, Country::Us, during)
+            - country_log_intensity(&c, Country::Us, before);
+        let base_dip = scenario_log_intensity(&c, &b, Country::Us, during)
+            - scenario_log_intensity(&c, &b, Country::Us, before);
+        assert!(fitted_dip < -0.5, "fitted={fitted_dip}");
+        assert!(base_dip > -0.1, "baseline={base_dip}");
+        // And no minor-event dip either (Operation Vivarium week).
+        let minor = scenario_log_intensity(&c, &b, Country::Us, Date::new(2015, 8, 24))
+            - scenario_log_intensity(&c, &b, Country::Us, Date::new(2015, 8, 10));
+        assert!(minor.abs() < 1e-9, "minor={minor}");
+    }
+
+    #[test]
+    fn scenario_baseline_uk_trend_is_linear() {
+        use crate::shocks::ScenarioSpec;
+        // The NCA flattening is an intervention: inside the campaign
+        // window the scenario baseline keeps the UK's linear trend, so
+        // it drifts up faster than the fitted (flattened) history.
+        let c = cal();
+        let b = ScenarioSpec::baseline();
+        let jan = Date::new(2018, 1, 8);
+        let jun = Date::new(2018, 6, 4);
+        let baseline_drift = scenario_log_intensity(&c, &b, Country::Uk, jun)
+            - scenario_log_intensity(&c, &b, Country::Uk, jan);
+        let fitted_drift = country_log_intensity(&c, Country::Uk, jun)
+            - country_log_intensity(&c, Country::Uk, jan);
+        assert!(
+            baseline_drift - fitted_drift > 0.15,
+            "baseline={baseline_drift} fitted={fitted_drift}"
+        );
+    }
+
+    #[test]
+    fn scenario_shock_delta_lands_on_top_of_the_baseline() {
+        use crate::shocks::{ScenarioSpec, Shock, ShockKind};
+        let c = cal();
+        let spec = ScenarioSpec {
+            name: "t".into(),
+            title: "t".into(),
+            cite: None,
+            shocks: vec![Shock {
+                date: Date::new(2018, 1, 10),
+                kind: ShockKind::PaymentFriction {
+                    pct: -40.0,
+                    duration_weeks: 4,
+                },
+            }],
+        };
+        let base = ScenarioSpec::baseline();
+        let monday = Date::new(2018, 1, 15);
+        let delta = scenario_log_intensity(&c, &spec, Country::Us, monday)
+            - scenario_log_intensity(&c, &base, Country::Us, monday);
+        assert!((delta - 0.6f64.ln()).abs() < 1e-12, "delta={delta}");
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //! * [`market`] — the weekly simulation loop tying it all together.
 //! * [`commands`] — conversion of weekly market output into packet-level
 //!   [`booters_netsim::AttackCommand`]s.
+//! * [`shocks`] — composable intervention-shock primitives and the
+//!   [`ScenarioSpec`] type naming a timed composition of them.
+//! * [`scn`] — the hand-rolled parser for the `.scn` scenario text
+//!   format, plus the eight built-in scenarios.
 
 pub mod booter;
 pub mod calibration;
@@ -38,8 +42,12 @@ pub mod events;
 pub mod lifecycle;
 pub mod market;
 pub mod protocol_mix;
+pub mod scn;
+pub mod shocks;
 
 pub use booter::{Booter, BooterState, SizeClass};
 pub use calibration::Calibration;
 pub use events::{EventId, EventKind, InterventionEvent};
 pub use market::{MarketSim, MarketConfig, WeekOutput};
+pub use scn::{builtin_scenarios, parse_scn, ScnError, ScnErrorKind};
+pub use shocks::{ClassSel, ScenarioSpec, Shock, ShockKind};

@@ -8,6 +8,7 @@
 //! of the closed majors returning "under a similar name" in March).
 
 use crate::booter::{Booter, BooterState, SizeClass};
+use crate::shocks::{ClassSel, ShockKind};
 use booters_netsim::UdpProtocol;
 use booters_testkit::rngs::StdRng;
 use booters_testkit::Rng;
@@ -249,6 +250,137 @@ impl Population {
             None => {}
         }
 
+        self.churn_and_sweeps(rng, week, &mut tally);
+        tally
+    }
+
+    /// One week of churn with scenario-DSL structural shocks instead of
+    /// the hard-wired [`MarketShock`]s. Structural shocks are applied
+    /// deterministically (no RNG draws) in the order given, so the
+    /// baseline-churn RNG stream below stays aligned with [`Self::step`]
+    /// — a scenario run consumes exactly the same random sequence as the
+    /// no-shock run, which is what makes scenario goldens thread- and
+    /// kernel-invariant (DESIGN.md §5j).
+    pub fn step_scenario(
+        &mut self,
+        rng: &mut StdRng,
+        week: usize,
+        shocks: &[&ShockKind],
+    ) -> LifecycleWeek {
+        let mut tally = LifecycleWeek::default();
+        // Weight closed by supply cuts earlier in this week's shock list,
+        // available for a subsequent `displacement` to absorb.
+        let mut closed_weight = 0.0f64;
+        for kind in shocks {
+            match **kind {
+                ShockKind::SupplyCut { class, count } => {
+                    closed_weight += self.supply_cut(class, count as usize, week, &mut tally);
+                }
+                ShockKind::Displacement { absorb } => {
+                    self.displace(absorb * closed_weight);
+                }
+                ShockKind::Rebrand { migration } => {
+                    if self.rebrand(migration) {
+                        tally.resurrections += 1;
+                    }
+                }
+                // Demand-side kinds act through
+                // `crate::demand::scenario_log_intensity`, not here.
+                ShockKind::DemandShift { .. }
+                | ShockKind::Reprisal { .. }
+                | ShockKind::DomainSeizure { .. }
+                | ShockKind::PaymentFriction { .. }
+                | ShockKind::Deterrence { .. } => {}
+            }
+        }
+        self.churn_and_sweeps(rng, week, &mut tally);
+        tally
+    }
+
+    /// Permanently close the `count` largest-weight alive booters
+    /// matching `class` (ties broken by ascending id). Returns the total
+    /// weight closed.
+    fn supply_cut(
+        &mut self,
+        class: ClassSel,
+        count: usize,
+        week: usize,
+        tally: &mut LifecycleWeek,
+    ) -> f64 {
+        let matches = |b: &Booter| match class {
+            ClassSel::Major => b.size == SizeClass::Major,
+            ClassSel::Medium => b.size == SizeClass::Medium,
+            ClassSel::Small => b.size == SizeClass::Small,
+            ClassSel::Any => true,
+        };
+        let mut targets: Vec<(u32, f64)> = self
+            .booters
+            .iter()
+            .filter(|b| b.is_alive() && matches(b))
+            .map(|b| (b.id, b.weight))
+            .collect();
+        // Largest weight first; equal weights fall back to ascending id
+        // so the target list is fully deterministic.
+        targets.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut closed = 0.0;
+        for &(id, weight) in targets.iter().take(count) {
+            if self.kill_id(id, week, true) {
+                tally.deaths += 1;
+                closed += weight;
+            }
+        }
+        closed
+    }
+
+    /// The largest surviving booter (ties broken by ascending id) absorbs
+    /// `extra` market weight.
+    fn displace(&mut self, extra: f64) {
+        let winner = self
+            .booters
+            .iter()
+            .filter(|b| b.is_alive())
+            .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap().then(b.id.cmp(&a.id)))
+            .map(|b| b.id);
+        if let Some(id) = winner {
+            if let Some(b) = self.booters.iter_mut().find(|b| b.id == id) {
+                b.weight += extra;
+            }
+        }
+    }
+
+    /// Re-open the most recently closed booter "under a similar name",
+    /// keeping `migration` of its former weight. Candidates are Dead or
+    /// Retired records with a recorded death week; ties on the death week
+    /// resolve to the largest weight, then the smallest id. Unlike
+    /// [`Booter::resurrect`], this revives Retired records too — a
+    /// rebrand is a *new* service inheriting the customer base, not the
+    /// seized one coming back.
+    fn rebrand(&mut self, migration: f64) -> bool {
+        let candidate = self
+            .booters
+            .iter()
+            .filter(|b| !b.is_alive() && b.died_week.is_some())
+            .max_by(|a, b| {
+                a.died_week
+                    .cmp(&b.died_week)
+                    .then(a.weight.partial_cmp(&b.weight).unwrap())
+                    .then(b.id.cmp(&a.id))
+            })
+            .map(|b| b.id);
+        let Some(id) = candidate else { return false };
+        if let Some(b) = self.booters.iter_mut().find(|b| b.id == id) {
+            b.state = BooterState::Alive;
+            b.weight *= migration;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Baseline churn and discovery sweeps, shared verbatim between
+    /// [`Self::step`] and [`Self::step_scenario`] so both consume the
+    /// same RNG stream.
+    fn churn_and_sweeps(&mut self, rng: &mut StdRng, week: usize, tally: &mut LifecycleWeek) {
         // Baseline churn.
         let ids: Vec<(u32, SizeClass, BooterState, Option<usize>)> = self
             .booters
@@ -299,8 +431,6 @@ impl Population {
         } else {
             self.weeks_to_sweep -= 1;
         }
-
-        tally
     }
 }
 
@@ -444,6 +574,83 @@ mod tests {
             res += t.resurrections;
         }
         assert!(res > 0, "no resurrections in 80 weeks");
+    }
+
+    #[test]
+    fn scenario_step_with_no_shocks_matches_plain_step() {
+        // The §5j alignment property: an empty scenario week consumes
+        // exactly the RNG stream of a shockless `step`, so both runs
+        // stay bit-identical forever after.
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut p1 = Population::new(&mut r1);
+        let mut p2 = Population::new(&mut r2);
+        for w in 0..60 {
+            let a = p1.step(&mut r1, w, None);
+            let b = p2.step_scenario(&mut r2, w, &[]);
+            assert_eq!(a, b, "week {w}");
+        }
+        let snap = |p: &Population| -> Vec<(u32, f64, BooterState)> {
+            p.booters().iter().map(|b| (b.id, b.weight, b.state)).collect()
+        };
+        assert_eq!(snap(&p1), snap(&p2));
+    }
+
+    #[test]
+    fn supply_cut_retires_largest_of_class_and_displacement_absorbs() {
+        let mut r = rng();
+        let mut p = Population::new(&mut r);
+        // Largest major is the Webstresser analogue (weight 0.30).
+        let web = p.webstresser_id();
+        let survivor_before: f64 = {
+            let mut ws: Vec<f64> = p
+                .booters()
+                .iter()
+                .filter(|b| b.size == SizeClass::Major)
+                .map(|b| b.weight)
+                .collect();
+            ws.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            ws[1] // the next-largest major inherits
+        };
+        let cut = ShockKind::SupplyCut {
+            class: ClassSel::Major,
+            count: 1,
+        };
+        let disp = ShockKind::Displacement { absorb: 0.5 };
+        let t = p.step_scenario(&mut r, 10, &[&cut, &disp]);
+        assert!(t.deaths >= 1);
+        let w = p.booters().iter().find(|b| b.id == web).unwrap();
+        assert_eq!(w.state, BooterState::Retired);
+        let winner = p
+            .booters()
+            .iter()
+            .filter(|b| b.is_alive())
+            .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+            .unwrap();
+        assert!(
+            (winner.weight - (survivor_before + 0.5 * 0.30)).abs() < 1e-12,
+            "winner weight {}",
+            winner.weight
+        );
+    }
+
+    #[test]
+    fn rebrand_revives_the_retired_casualty_with_scaled_weight() {
+        let mut r = rng();
+        let mut p = Population::new(&mut r);
+        let web = p.webstresser_id();
+        let cut = ShockKind::SupplyCut {
+            class: ClassSel::Major,
+            count: 1,
+        };
+        p.step_scenario(&mut r, 10, &[&cut]);
+        let dead_weight = p.booters().iter().find(|b| b.id == web).unwrap().weight;
+        let reb = ShockKind::Rebrand { migration: 0.7 };
+        let t = p.step_scenario(&mut r, 14, &[&reb]);
+        assert!(t.resurrections >= 1);
+        let b = p.booters().iter().find(|b| b.id == web).unwrap();
+        assert!(b.is_alive(), "rebrand must revive a Retired record");
+        assert!((b.weight - dead_weight * 0.7).abs() < 1e-12);
     }
 
     #[test]

@@ -8,9 +8,10 @@
 
 use crate::booter::BooterState;
 use crate::calibration::Calibration;
-use crate::demand::country_log_intensity;
+use crate::demand::{country_log_intensity, scenario_log_intensity};
 use crate::lifecycle::{LifecycleWeek, MarketShock, Population};
 use crate::protocol_mix::protocol_weights;
+use crate::shocks::ScenarioSpec;
 use booters_netsim::Country;
 use booters_stats::dist::{standard_normal_sample, NegativeBinomial, Poisson};
 use booters_timeseries::Date;
@@ -36,6 +37,12 @@ pub struct MarketConfig {
     /// (self-reports include non-UDP-reflection attacks; observation is a
     /// different channel than the honeypots).
     pub selfreport_factor: f64,
+    /// When set, the paper's hard-wired intervention history is replaced
+    /// by this scenario spec: demand follows the counterfactual baseline
+    /// plus the spec's demand-side shocks, and population dynamics apply
+    /// the spec's structural shocks instead of [`MarketShock`]s. `None`
+    /// (the default) reproduces the paper exactly.
+    pub scenario: Option<ScenarioSpec>,
 }
 
 impl Default for MarketConfig {
@@ -46,6 +53,7 @@ impl Default for MarketConfig {
             scale: 1.0,
             booter_noise_sd: 0.45,
             selfreport_factor: 0.5,
+            scenario: None,
         }
     }
 }
@@ -139,16 +147,32 @@ impl MarketSim {
         let monday = self.monday;
         let cal = &self.config.calibration;
 
-        // 1. Population dynamics and shocks.
-        let shock = self.shock_for(monday);
-        let lifecycle = self.population.step(&mut self.rng, self.week, shock);
+        // 1. Population dynamics and shocks. Scenario runs swap both the
+        // structural-shock source and the demand model; the `None` arm is
+        // the paper's hard-wired history, untouched so its RNG stream and
+        // float-op order (and therefore every existing golden) stay
+        // byte-identical.
+        let lifecycle = match &self.config.scenario {
+            None => {
+                let shock = self.shock_for(monday);
+                self.population.step(&mut self.rng, self.week, shock)
+            }
+            Some(spec) => {
+                let shocks = spec.structural_for(monday);
+                self.population.step_scenario(&mut self.rng, self.week, &shocks)
+            }
+        };
 
         // 2. Per-country counts from the calibrated NB2 model.
         let mut country_counts = [0u64; 12];
         let mut country_protocol = [[0u64; 10]; 12];
         let mut protocol_counts = [0u64; 10];
         for &country in Country::ALL.iter() {
-            let mu = country_log_intensity(cal, country, monday).exp() * self.config.scale;
+            let log_mu = match &self.config.scenario {
+                None => country_log_intensity(cal, country, monday),
+                Some(spec) => scenario_log_intensity(cal, spec, country, monday),
+            };
+            let mu = log_mu.exp() * self.config.scale;
             let count = if mu < 0.5 {
                 0
             } else {
@@ -410,6 +434,54 @@ mod tests {
         assert!(observations > 1000);
         // Wipes are rare.
         assert!((decreases as f64) < 0.02 * observations as f64, "decreases={decreases}");
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic_and_conserve() {
+        let mut cfg = test_config(0.005);
+        cfg.scenario = crate::scn::builtin_scenarios()
+            .into_iter()
+            .find(|s| s.name == "xmas2018");
+        let a = MarketSim::new(cfg.clone()).run();
+        let b = MarketSim::new(cfg).run();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.total, y.total);
+            assert_eq!(x.country_counts, y.country_counts);
+            let allocated: u64 = x.booter_attacks.iter().map(|(_, n)| n).sum();
+            assert_eq!(x.total, allocated);
+        }
+    }
+
+    #[test]
+    fn payment_friction_scenario_suppresses_demand_vs_baseline() {
+        let run = |spec: ScenarioSpec| {
+            let mut cfg = test_config(0.01);
+            cfg.scenario = Some(spec);
+            MarketSim::new(cfg).run()
+        };
+        let baseline = run(ScenarioSpec::baseline());
+        let friction = run(
+            crate::scn::builtin_scenarios()
+                .into_iter()
+                .find(|s| s.name == "payment_friction")
+                .unwrap(),
+        );
+        // Same seed, same RNG stream: only the demand delta differs.
+        let window = |out: &[WeekOutput]| -> u64 {
+            out.iter()
+                .filter(|w| {
+                    w.monday >= Date::new(2017, 6, 5) && w.monday < Date::new(2017, 12, 4)
+                })
+                .map(|w| w.total)
+                .sum()
+        };
+        let b = window(&baseline);
+        let f = window(&friction);
+        assert!(
+            (f as f64) < 0.75 * b as f64,
+            "friction={f} baseline={b}"
+        );
     }
 
     #[test]

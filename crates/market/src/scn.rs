@@ -1,0 +1,768 @@
+//! Hand-rolled parser for the line-oriented `.scn` scenario format.
+//!
+//! Like `booters-core`'s run-report JSON writer, this parser is written
+//! from scratch so the workspace stays dependency-free. The grammar is
+//! deliberately small — one directive per line:
+//!
+//! ```text
+//! # comment (whole line; blank lines are skipped)
+//! scenario <name>                  # first directive, exactly once
+//! title "<free text>"              # optional; defaults to the name
+//! cite "<free text>"               # optional literature citation
+//! shock <YYYY-MM-DD> <kind> key=value ...
+//! ```
+//!
+//! `<name>` matches `[a-z0-9_-]+`. Quoted strings run to the next `"`
+//! with no escape sequences. Shock kinds and their fields are exactly
+//! the variants of [`ShockKind`] (see `SCENARIOS.md` for the full field
+//! reference). Shocks apply in file order, which matters for structural
+//! shocks sharing a week (DESIGN.md §5j).
+//!
+//! Errors are typed ([`ScnError`]) and carry a 1-based line and column
+//! (byte offset of the offending token), so callers can surface
+//! `line 4, col 27: unknown field `pct2` for shock `demand_shift``
+//! diagnostics without string matching. [`parse_scn`] is the exact
+//! inverse of [`ScenarioSpec::to_scn`] on canonical sources; the
+//! `forall!` suite in `crates/market/tests/scn.rs` pins the round-trip.
+
+use crate::shocks::{ClassSel, ScenarioSpec, Shock, ShockKind};
+use booters_netsim::Country;
+use booters_timeseries::date::days_in_month;
+use booters_timeseries::Date;
+
+/// A parse failure with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScnError {
+    /// 1-based line number of the offending token.
+    pub line: usize,
+    /// 1-based column (byte offset within the line) of the offending
+    /// token. Errors about something *missing* point one past the end
+    /// of the relevant line.
+    pub col: usize,
+    /// What went wrong.
+    pub kind: ScnErrorKind,
+}
+
+impl std::fmt::Display for ScnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.kind)
+    }
+}
+
+impl std::error::Error for ScnError {}
+
+/// The reason a `.scn` source failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScnErrorKind {
+    /// The first directive was not `scenario`, or the file had none.
+    MissingScenario,
+    /// A second `scenario` directive appeared.
+    DuplicateScenario,
+    /// A line started with an unrecognised directive word.
+    UnknownDirective(String),
+    /// A directive was missing its operand (payload: the directive).
+    MissingValue(String),
+    /// The scenario name did not match `[a-z0-9_-]+` (payload: the name).
+    BadName(String),
+    /// A directive needing a quoted string found something else
+    /// (payload: the directive).
+    ExpectedString(String),
+    /// A quoted string had no closing `"`.
+    UnterminatedString,
+    /// Extra tokens followed a complete directive (payload: the first
+    /// trailing token).
+    TrailingInput(String),
+    /// A shock date was not a valid `YYYY-MM-DD` (payload: the token).
+    BadDate(String),
+    /// An unrecognised shock kind (payload: the keyword).
+    UnknownShock(String),
+    /// A shock argument was not `field=value` (payload: the token).
+    BadField(String),
+    /// The same field appeared twice in one shock (payload: the field).
+    DuplicateField(String),
+    /// A field that the shock kind does not accept.
+    UnknownField {
+        /// The offending field name.
+        field: String,
+        /// The shock kind it was given to.
+        shock: String,
+    },
+    /// A required field was absent.
+    MissingField {
+        /// The missing field name.
+        field: String,
+        /// The shock kind that requires it.
+        shock: String,
+    },
+    /// A field value failed numeric parsing.
+    BadNumber {
+        /// The unparseable text.
+        value: String,
+        /// The field it was given for.
+        field: String,
+    },
+    /// A `country=` value was not a known label (payload: the value).
+    UnknownCountry(String),
+    /// A `class=` value was not a known size class (payload: the value).
+    UnknownClass(String),
+    /// A numeric field parsed but violated its range constraint.
+    OutOfRange {
+        /// The field name.
+        field: String,
+        /// Human-readable constraint, e.g. `must be in [0, 1]`.
+        why: String,
+    },
+}
+
+impl std::fmt::Display for ScnErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScnErrorKind::MissingScenario => {
+                write!(f, "expected `scenario <name>` as the first directive")
+            }
+            ScnErrorKind::DuplicateScenario => write!(f, "duplicate `scenario` directive"),
+            ScnErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            ScnErrorKind::MissingValue(d) => write!(f, "expected a value after `{d}`"),
+            ScnErrorKind::BadName(n) => {
+                write!(f, "invalid scenario name `{n}` (expected [a-z0-9_-]+)")
+            }
+            ScnErrorKind::ExpectedString(d) => write!(f, "expected a quoted string after `{d}`"),
+            ScnErrorKind::UnterminatedString => write!(f, "unterminated string"),
+            ScnErrorKind::TrailingInput(t) => write!(f, "unexpected trailing input `{t}`"),
+            ScnErrorKind::BadDate(t) => write!(f, "invalid date `{t}` (expected YYYY-MM-DD)"),
+            ScnErrorKind::UnknownShock(k) => write!(f, "unknown shock kind `{k}`"),
+            ScnErrorKind::BadField(t) => write!(f, "expected `field=value`, found `{t}`"),
+            ScnErrorKind::DuplicateField(k) => write!(f, "duplicate field `{k}`"),
+            ScnErrorKind::UnknownField { field, shock } => {
+                write!(f, "unknown field `{field}` for shock `{shock}`")
+            }
+            ScnErrorKind::MissingField { field, shock } => {
+                write!(f, "missing field `{field}` for shock `{shock}`")
+            }
+            ScnErrorKind::BadNumber { value, field } => {
+                write!(f, "invalid number `{value}` for field `{field}`")
+            }
+            ScnErrorKind::UnknownCountry(v) => write!(f, "unknown country code `{v}`"),
+            ScnErrorKind::UnknownClass(v) => write!(f, "unknown size class `{v}`"),
+            ScnErrorKind::OutOfRange { field, why } => {
+                write!(f, "field `{field}` out of range: {why}")
+            }
+        }
+    }
+}
+
+fn err(line: usize, col: usize, kind: ScnErrorKind) -> ScnError {
+    ScnError { line, col, kind }
+}
+
+/// One whitespace-delimited token with its 1-based byte column.
+struct Tok<'a> {
+    text: &'a str,
+    col: usize,
+}
+
+fn tokens(line: &str) -> Vec<Tok<'_>> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b' ' || bytes[i] == b'\t' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && bytes[i] != b' ' && bytes[i] != b'\t' {
+            i += 1;
+        }
+        out.push(Tok {
+            text: &line[start..i],
+            col: start + 1,
+        });
+    }
+    out
+}
+
+fn is_valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+}
+
+fn parse_date(tok: &str) -> Option<Date> {
+    let b = tok.as_bytes();
+    if b.len() != 10 || b[4] != b'-' || b[7] != b'-' {
+        return None;
+    }
+    for (i, &c) in b.iter().enumerate() {
+        if i != 4 && i != 7 && !c.is_ascii_digit() {
+            return None;
+        }
+    }
+    let year: i32 = tok[0..4].parse().ok()?;
+    let month: u8 = tok[5..7].parse().ok()?;
+    let day: u8 = tok[8..10].parse().ok()?;
+    if !(1..=12).contains(&month) || day < 1 || day > days_in_month(year, month) {
+        return None;
+    }
+    Some(Date::new(year, month, day))
+}
+
+/// Parse a quoted-string directive operand (`title`, `cite`). Returns
+/// the string body, or the positioned error.
+fn parse_quoted(
+    line: &str,
+    lineno: usize,
+    directive: &Tok<'_>,
+) -> Result<(String, ()), ScnError> {
+    let after = directive.col - 1 + directive.text.len();
+    let rest = &line[after..];
+    let Some(off) = rest.find(|c: char| c != ' ' && c != '\t') else {
+        return Err(err(
+            lineno,
+            line.len() + 1,
+            ScnErrorKind::MissingValue(directive.text.to_string()),
+        ));
+    };
+    let start = after + off;
+    if line.as_bytes()[start] != b'"' {
+        return Err(err(
+            lineno,
+            start + 1,
+            ScnErrorKind::ExpectedString(directive.text.to_string()),
+        ));
+    }
+    let body_start = start + 1;
+    let Some(close) = line[body_start..].find('"') else {
+        return Err(err(lineno, start + 1, ScnErrorKind::UnterminatedString));
+    };
+    let value = line[body_start..body_start + close].to_string();
+    let tail_start = body_start + close + 1;
+    let tail = &line[tail_start..];
+    if let Some(toff) = tail.find(|c: char| c != ' ' && c != '\t') {
+        let t: String = tail[toff..]
+            .split([' ', '\t'])
+            .next()
+            .unwrap_or("")
+            .to_string();
+        return Err(err(
+            lineno,
+            tail_start + toff + 1,
+            ScnErrorKind::TrailingInput(t),
+        ));
+    }
+    Ok((value, ()))
+}
+
+/// One parsed `field=value` with token positions for diagnostics.
+struct Field<'a> {
+    key: &'a str,
+    value: &'a str,
+    key_col: usize,
+    value_col: usize,
+}
+
+/// Typed accessors over a shock's field list: each lookup consumes
+/// knowledge of which fields are legal so unknown-field detection can
+/// run after construction.
+struct Fields<'a> {
+    shock: &'a str,
+    lineno: usize,
+    eol_col: usize,
+    entries: Vec<Field<'a>>,
+}
+
+impl<'a> Fields<'a> {
+    fn get(&self, key: &str) -> Result<&Field<'a>, ScnError> {
+        self.entries.iter().find(|f| f.key == key).ok_or_else(|| {
+            err(
+                self.lineno,
+                self.eol_col,
+                ScnErrorKind::MissingField {
+                    field: key.to_string(),
+                    shock: self.shock.to_string(),
+                },
+            )
+        })
+    }
+
+    fn u32(&self, key: &str) -> Result<(u32, usize), ScnError> {
+        let f = self.get(key)?;
+        let v: u32 = f.value.parse().map_err(|_| {
+            err(
+                self.lineno,
+                f.value_col,
+                ScnErrorKind::BadNumber {
+                    value: f.value.to_string(),
+                    field: key.to_string(),
+                },
+            )
+        })?;
+        Ok((v, f.value_col))
+    }
+
+    fn f64(&self, key: &str) -> Result<(f64, usize), ScnError> {
+        let f = self.get(key)?;
+        let v: f64 = f.value.parse().map_err(|_| {
+            err(
+                self.lineno,
+                f.value_col,
+                ScnErrorKind::BadNumber {
+                    value: f.value.to_string(),
+                    field: key.to_string(),
+                },
+            )
+        })?;
+        if !v.is_finite() {
+            return Err(self.out_of_range(key, f.value_col, "must be finite"));
+        }
+        Ok((v, f.value_col))
+    }
+
+    fn out_of_range(&self, field: &str, col: usize, why: &str) -> ScnError {
+        err(
+            self.lineno,
+            col,
+            ScnErrorKind::OutOfRange {
+                field: field.to_string(),
+                why: why.to_string(),
+            },
+        )
+    }
+
+    /// Reject any field not in `allowed` (call after all gets succeed).
+    fn check_known(&self, allowed: &[&str]) -> Result<(), ScnError> {
+        for f in &self.entries {
+            if !allowed.contains(&f.key) {
+                return Err(err(
+                    self.lineno,
+                    f.key_col,
+                    ScnErrorKind::UnknownField {
+                        field: f.key.to_string(),
+                        shock: self.shock.to_string(),
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn pct(&self, key: &str) -> Result<f64, ScnError> {
+        let (v, col) = self.f64(key)?;
+        if v <= -100.0 {
+            return Err(self.out_of_range(key, col, "must be greater than -100"));
+        }
+        Ok(v)
+    }
+
+    fn fraction(&self, key: &str) -> Result<f64, ScnError> {
+        let (v, col) = self.f64(key)?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(self.out_of_range(key, col, "must be in [0, 1]"));
+        }
+        Ok(v)
+    }
+
+    fn at_least_one(&self, key: &str) -> Result<u32, ScnError> {
+        let (v, col) = self.u32(key)?;
+        if v < 1 {
+            return Err(self.out_of_range(key, col, "must be at least 1"));
+        }
+        Ok(v)
+    }
+}
+
+fn parse_shock_kind(
+    kind_tok: &Tok<'_>,
+    fields: Fields<'_>,
+) -> Result<ShockKind, ScnError> {
+    let lineno = fields.lineno;
+    match kind_tok.text {
+        "supply_cut" => {
+            let class_f = fields.get("class")?;
+            let class = ClassSel::from_keyword(class_f.value).ok_or_else(|| {
+                err(
+                    lineno,
+                    class_f.value_col,
+                    ScnErrorKind::UnknownClass(class_f.value.to_string()),
+                )
+            })?;
+            let count = fields.at_least_one("count")?;
+            fields.check_known(&["class", "count"])?;
+            Ok(ShockKind::SupplyCut { class, count })
+        }
+        "demand_shift" => {
+            let pct = fields.pct("pct")?;
+            let (delay_weeks, _) = fields.u32("delay")?;
+            let duration_weeks = fields.at_least_one("duration")?;
+            fields.check_known(&["pct", "delay", "duration"])?;
+            Ok(ShockKind::DemandShift {
+                pct,
+                delay_weeks,
+                duration_weeks,
+            })
+        }
+        "displacement" => {
+            let absorb = fields.fraction("absorb")?;
+            fields.check_known(&["absorb"])?;
+            Ok(ShockKind::Displacement { absorb })
+        }
+        "reprisal" => {
+            let country_f = fields.get("country")?;
+            let country = Country::from_label(country_f.value).ok_or_else(|| {
+                err(
+                    lineno,
+                    country_f.value_col,
+                    ScnErrorKind::UnknownCountry(country_f.value.to_string()),
+                )
+            })?;
+            let pct = fields.pct("pct")?;
+            let duration_weeks = fields.at_least_one("duration")?;
+            fields.check_known(&["country", "pct", "duration"])?;
+            Ok(ShockKind::Reprisal {
+                country,
+                pct,
+                duration_weeks,
+            })
+        }
+        "domain_seizure" => {
+            let domains = fields.at_least_one("domains")?;
+            let pct = fields.pct("pct")?;
+            let recovery = fields.fraction("recovery")?;
+            let (lag_weeks, lag_col) = fields.u32("lag")?;
+            let duration_weeks = fields.at_least_one("duration")?;
+            if lag_weeks > duration_weeks {
+                return Err(fields.out_of_range("lag", lag_col, "must not exceed duration"));
+            }
+            fields.check_known(&["domains", "pct", "recovery", "lag", "duration"])?;
+            Ok(ShockKind::DomainSeizure {
+                domains,
+                pct,
+                recovery,
+                lag_weeks,
+                duration_weeks,
+            })
+        }
+        "rebrand" => {
+            let migration = fields.fraction("migration")?;
+            fields.check_known(&["migration"])?;
+            Ok(ShockKind::Rebrand { migration })
+        }
+        "payment_friction" => {
+            let pct = fields.pct("pct")?;
+            let duration_weeks = fields.at_least_one("duration")?;
+            fields.check_known(&["pct", "duration"])?;
+            Ok(ShockKind::PaymentFriction {
+                pct,
+                duration_weeks,
+            })
+        }
+        "deterrence" => {
+            let pct = fields.pct("pct")?;
+            let (half_life_weeks, hl_col) = fields.f64("half_life")?;
+            if half_life_weeks <= 0.0 {
+                return Err(fields.out_of_range("half_life", hl_col, "must be positive"));
+            }
+            fields.check_known(&["pct", "half_life"])?;
+            Ok(ShockKind::Deterrence {
+                pct,
+                half_life_weeks,
+            })
+        }
+        other => Err(err(
+            lineno,
+            kind_tok.col,
+            ScnErrorKind::UnknownShock(other.to_string()),
+        )),
+    }
+}
+
+/// Parse one `.scn` source into a [`ScenarioSpec`].
+///
+/// On canonical sources this is the exact inverse of
+/// [`ScenarioSpec::to_scn`]:
+///
+/// ```
+/// use booters_market::{parse_scn, ScenarioSpec};
+/// let spec = parse_scn("scenario demo\ntitle \"Demo\"\n\
+///                       shock 2018-01-10 demand_shift pct=-30 delay=0 duration=4\n")
+///     .unwrap();
+/// assert_eq!(parse_scn(&spec.to_scn()), Ok(spec));
+/// ```
+pub fn parse_scn(src: &str) -> Result<ScenarioSpec, ScnError> {
+    let mut name: Option<String> = None;
+    let mut title: Option<String> = None;
+    let mut cite: Option<String> = None;
+    let mut shocks: Vec<Shock> = Vec::new();
+    let mut n_lines = 0;
+
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        n_lines = lineno;
+        let toks = tokens(line);
+        let Some(first) = toks.first() else { continue };
+        if first.text.starts_with('#') {
+            continue;
+        }
+        if name.is_none() && first.text != "scenario" {
+            return Err(err(lineno, first.col, ScnErrorKind::MissingScenario));
+        }
+        match first.text {
+            "scenario" => {
+                if name.is_some() {
+                    return Err(err(lineno, first.col, ScnErrorKind::DuplicateScenario));
+                }
+                let Some(val) = toks.get(1) else {
+                    return Err(err(
+                        lineno,
+                        line.len() + 1,
+                        ScnErrorKind::MissingValue("scenario".to_string()),
+                    ));
+                };
+                if !is_valid_name(val.text) {
+                    return Err(err(
+                        lineno,
+                        val.col,
+                        ScnErrorKind::BadName(val.text.to_string()),
+                    ));
+                }
+                if let Some(extra) = toks.get(2) {
+                    return Err(err(
+                        lineno,
+                        extra.col,
+                        ScnErrorKind::TrailingInput(extra.text.to_string()),
+                    ));
+                }
+                name = Some(val.text.to_string());
+            }
+            "title" => {
+                let (value, ()) = parse_quoted(line, lineno, first)?;
+                title = Some(value);
+            }
+            "cite" => {
+                let (value, ()) = parse_quoted(line, lineno, first)?;
+                cite = Some(value);
+            }
+            "shock" => {
+                let Some(date_tok) = toks.get(1) else {
+                    return Err(err(
+                        lineno,
+                        line.len() + 1,
+                        ScnErrorKind::MissingValue("shock".to_string()),
+                    ));
+                };
+                let Some(date) = parse_date(date_tok.text) else {
+                    return Err(err(
+                        lineno,
+                        date_tok.col,
+                        ScnErrorKind::BadDate(date_tok.text.to_string()),
+                    ));
+                };
+                let Some(kind_tok) = toks.get(2) else {
+                    return Err(err(
+                        lineno,
+                        line.len() + 1,
+                        ScnErrorKind::MissingValue("shock".to_string()),
+                    ));
+                };
+                let mut entries: Vec<Field<'_>> = Vec::new();
+                for t in &toks[3..] {
+                    let Some(eq) = t.text.find('=') else {
+                        return Err(err(
+                            lineno,
+                            t.col,
+                            ScnErrorKind::BadField(t.text.to_string()),
+                        ));
+                    };
+                    let key = &t.text[..eq];
+                    let value = &t.text[eq + 1..];
+                    if key.is_empty() || value.is_empty() {
+                        return Err(err(
+                            lineno,
+                            t.col,
+                            ScnErrorKind::BadField(t.text.to_string()),
+                        ));
+                    }
+                    if entries.iter().any(|f| f.key == key) {
+                        return Err(err(
+                            lineno,
+                            t.col,
+                            ScnErrorKind::DuplicateField(key.to_string()),
+                        ));
+                    }
+                    entries.push(Field {
+                        key,
+                        value,
+                        key_col: t.col,
+                        value_col: t.col + eq + 1,
+                    });
+                }
+                let fields = Fields {
+                    shock: kind_tok.text,
+                    lineno,
+                    eol_col: line.len() + 1,
+                    entries,
+                };
+                let kind = parse_shock_kind(kind_tok, fields)?;
+                shocks.push(Shock { date, kind });
+            }
+            other => {
+                return Err(err(
+                    lineno,
+                    first.col,
+                    ScnErrorKind::UnknownDirective(other.to_string()),
+                ));
+            }
+        }
+    }
+
+    let Some(name) = name else {
+        return Err(err(n_lines + 1, 1, ScnErrorKind::MissingScenario));
+    };
+    let title = title.unwrap_or_else(|| name.clone());
+    Ok(ScenarioSpec {
+        name,
+        title,
+        cite,
+        shocks,
+    })
+}
+
+/// Names and `.scn` sources of the eight built-in scenarios — the
+/// paper's five interventions plus the three successor-literature
+/// programmes — in chronological order of their first shock.
+pub const BUILTIN_SOURCES: [(&str, &str); 8] = [
+    (
+        "hackforums",
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/hackforums.scn"
+        )),
+    ),
+    (
+        "payment_friction",
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/payment_friction.scn"
+        )),
+    ),
+    (
+        "rebrand_migration",
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/rebrand_migration.scn"
+        )),
+    ),
+    (
+        "vdos_sentencing",
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/vdos_sentencing.scn"
+        )),
+    ),
+    (
+        "webstresser",
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/webstresser.scn"
+        )),
+    ),
+    (
+        "poweroff",
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/poweroff.scn"
+        )),
+    ),
+    (
+        "mirai_sentencing",
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/mirai_sentencing.scn"
+        )),
+    ),
+    (
+        "xmas2018",
+        include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/xmas2018.scn"
+        )),
+    ),
+];
+
+/// Parse every built-in `.scn` source. Panics if a bundled source is
+/// malformed (pinned by tests, so it cannot happen at runtime).
+pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
+    BUILTIN_SOURCES
+        .iter()
+        .map(|(name, src)| {
+            let spec = parse_scn(src)
+                .unwrap_or_else(|e| panic!("built-in scenario `{name}` failed to parse: {e}"));
+            assert_eq!(
+                spec.name, *name,
+                "built-in scenario file name and `scenario` directive disagree"
+            );
+            spec
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_parse_and_cover_all_kinds() {
+        let specs = builtin_scenarios();
+        assert_eq!(specs.len(), 8);
+        let mut keywords: Vec<&str> = specs
+            .iter()
+            .flat_map(|s| s.shocks.iter().map(|sh| sh.kind.keyword()))
+            .collect();
+        keywords.sort_unstable();
+        keywords.dedup();
+        assert_eq!(
+            keywords,
+            [
+                "demand_shift",
+                "deterrence",
+                "displacement",
+                "domain_seizure",
+                "payment_friction",
+                "rebrand",
+                "reprisal",
+                "supply_cut",
+            ]
+        );
+    }
+
+    #[test]
+    fn builtins_round_trip_through_canonical_form() {
+        for spec in builtin_scenarios() {
+            let rendered = spec.to_scn();
+            assert_eq!(parse_scn(&rendered), Ok(spec.clone()), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let spec = parse_scn("# header\n\nscenario a\n# mid\ntitle \"A\"\n").unwrap();
+        assert_eq!(spec.name, "a");
+        assert_eq!(spec.title, "A");
+        assert!(spec.cite.is_none());
+    }
+
+    #[test]
+    fn title_defaults_to_name() {
+        let spec = parse_scn("scenario bare\n").unwrap();
+        assert_eq!(spec.title, "bare");
+    }
+
+    #[test]
+    fn error_display_includes_position() {
+        let e = parse_scn("scenario a\nshock 2018-13-01 demand_shift\n").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "line 2, col 7: invalid date `2018-13-01` (expected YYYY-MM-DD)"
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Parser contract tests for the `.scn` scenario format.
+//!
+//! Two halves (DESIGN.md §5j):
+//!
+//! * a `forall!` round-trip property — for any representable
+//!   [`ScenarioSpec`], `parse_scn(spec.to_scn()) == Ok(spec)`, i.e. the
+//!   canonical formatter and the parser are exact inverses;
+//! * a table-driven diagnostics suite pinning the **exact** rendered
+//!   error text, line, and column for every [`ScnErrorKind`] variant,
+//!   so editor-facing diagnostics cannot drift silently.
+
+use booters_market::{parse_scn, ClassSel, ScenarioSpec, Shock, ShockKind};
+use booters_netsim::Country;
+use booters_testkit::rngs::StdRng;
+use booters_testkit::{any, forall, prop_assert_eq, Rng, SeedableRng};
+use booters_timeseries::date::days_in_month;
+use booters_timeseries::Date;
+
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+const TITLE_CHARS: &[u8] =
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,:;()%+-/'";
+
+fn gen_name(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1usize..=10);
+    (0..len)
+        .map(|_| NAME_CHARS[rng.gen_range(0..NAME_CHARS.len())] as char)
+        .collect()
+}
+
+fn gen_text(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..=24);
+    (0..len)
+        .map(|_| TITLE_CHARS[rng.gen_range(0..TITLE_CHARS.len())] as char)
+        .collect()
+}
+
+fn gen_date(rng: &mut StdRng) -> Date {
+    let year = rng.gen_range(2014i32..=2020);
+    let month = rng.gen_range(1u8..=12);
+    let day = rng.gen_range(1u8..=days_in_month(year, month));
+    Date::new(year, month, day)
+}
+
+/// A percentage strictly above the parser's -100 floor. Drawn from a
+/// continuous range, so its `Display` form exercises the shortest
+/// round-trip float formatter rather than hand-picked pretty values.
+fn gen_pct(rng: &mut StdRng) -> f64 {
+    rng.gen_range(-99.0..400.0)
+}
+
+fn gen_kind(rng: &mut StdRng) -> ShockKind {
+    const CLASSES: [ClassSel; 4] =
+        [ClassSel::Major, ClassSel::Medium, ClassSel::Small, ClassSel::Any];
+    match rng.gen_range(0u32..8) {
+        0 => ShockKind::SupplyCut {
+            class: CLASSES[rng.gen_range(0..4usize)],
+            count: rng.gen_range(1u32..=5),
+        },
+        1 => ShockKind::DemandShift {
+            pct: gen_pct(rng),
+            delay_weeks: rng.gen_range(0u32..=8),
+            duration_weeks: rng.gen_range(1u32..=30),
+        },
+        2 => ShockKind::Displacement {
+            absorb: rng.gen::<f64>(),
+        },
+        3 => ShockKind::Reprisal {
+            country: Country::ALL[rng.gen_range(0..Country::ALL.len())],
+            pct: gen_pct(rng),
+            duration_weeks: rng.gen_range(1u32..=30),
+        },
+        4 => {
+            let duration_weeks = rng.gen_range(1u32..=30);
+            ShockKind::DomainSeizure {
+                domains: rng.gen_range(1u32..=40),
+                pct: gen_pct(rng),
+                recovery: rng.gen::<f64>(),
+                lag_weeks: rng.gen_range(0..=duration_weeks),
+                duration_weeks,
+            }
+        }
+        5 => ShockKind::Rebrand {
+            migration: rng.gen::<f64>(),
+        },
+        6 => ShockKind::PaymentFriction {
+            pct: gen_pct(rng),
+            duration_weeks: rng.gen_range(1u32..=30),
+        },
+        _ => ShockKind::Deterrence {
+            pct: gen_pct(rng),
+            half_life_weeks: rng.gen_range(0.25f64..26.0),
+        },
+    }
+}
+
+/// Any spec the format can represent, driven by one seed.
+fn gen_spec(seed: u64) -> ScenarioSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let name = gen_name(&mut rng);
+    let title = gen_text(&mut rng);
+    let cite = if rng.gen_bool(0.5) {
+        Some(gen_text(&mut rng))
+    } else {
+        None
+    };
+    let n_shocks = rng.gen_range(0usize..=6);
+    let shocks = (0..n_shocks)
+        .map(|_| Shock {
+            date: gen_date(&mut rng),
+            kind: gen_kind(&mut rng),
+        })
+        .collect();
+    ScenarioSpec {
+        name,
+        title,
+        cite,
+        shocks,
+    }
+}
+
+forall! {
+    #![cases(96)]
+
+    fn format_then_parse_is_identity(seed in any::<u64>()) {
+        let spec = gen_spec(seed);
+        prop_assert_eq!(parse_scn(&spec.to_scn()), Ok(spec));
+    }
+}
+
+/// Every `ScnErrorKind` variant, with the exact rendered diagnostic —
+/// message text, 1-based line, 1-based byte column — pinned.
+#[test]
+fn diagnostics_report_exact_text_line_and_column() {
+    let cases: &[(&str, &str)] = &[
+        // MissingScenario: empty input points past the last line.
+        ("", "line 1, col 1: expected `scenario <name>` as the first directive"),
+        // MissingScenario: comments only — still no scenario by EOF.
+        (
+            "# nothing here\n",
+            "line 2, col 1: expected `scenario <name>` as the first directive",
+        ),
+        // MissingScenario: another directive arrived first.
+        (
+            "title \"x\"\n",
+            "line 1, col 1: expected `scenario <name>` as the first directive",
+        ),
+        // DuplicateScenario
+        (
+            "scenario a\nscenario b\n",
+            "line 2, col 1: duplicate `scenario` directive",
+        ),
+        // MissingValue: directive with no operand points one past EOL.
+        ("scenario", "line 1, col 9: expected a value after `scenario`"),
+        (
+            "scenario a\nshock 2018-01-01",
+            "line 2, col 17: expected a value after `shock`",
+        ),
+        // BadName
+        (
+            "scenario Bad!",
+            "line 1, col 10: invalid scenario name `Bad!` (expected [a-z0-9_-]+)",
+        ),
+        // TrailingInput after a complete `scenario` directive.
+        (
+            "scenario a extra",
+            "line 1, col 12: unexpected trailing input `extra`",
+        ),
+        // ExpectedString
+        (
+            "scenario a\ntitle x",
+            "line 2, col 7: expected a quoted string after `title`",
+        ),
+        // UnterminatedString
+        ("scenario a\ncite \"x", "line 2, col 6: unterminated string"),
+        // TrailingInput after a closed quoted string.
+        (
+            "scenario a\ntitle \"x\" y",
+            "line 2, col 11: unexpected trailing input `y`",
+        ),
+        // UnknownDirective
+        ("scenario a\nfoo bar", "line 2, col 1: unknown directive `foo`"),
+        // BadDate
+        (
+            "scenario a\nshock 2018-02-30 rebrand migration=0.5",
+            "line 2, col 7: invalid date `2018-02-30` (expected YYYY-MM-DD)",
+        ),
+        // UnknownShock
+        (
+            "scenario a\nshock 2018-01-01 meteor",
+            "line 2, col 18: unknown shock kind `meteor`",
+        ),
+        // BadField: not `field=value`.
+        (
+            "scenario a\nshock 2018-01-01 rebrand migration",
+            "line 2, col 26: expected `field=value`, found `migration`",
+        ),
+        // DuplicateField
+        (
+            "scenario a\nshock 2018-01-01 rebrand migration=0.5 migration=0.5",
+            "line 2, col 40: duplicate field `migration`",
+        ),
+        // UnknownField
+        (
+            "scenario a\nshock 2018-01-01 rebrand migration=0.5 extra=1",
+            "line 2, col 40: unknown field `extra` for shock `rebrand`",
+        ),
+        // MissingField points one past the end of the shock line.
+        (
+            "scenario a\nshock 2018-01-01 rebrand",
+            "line 2, col 25: missing field `migration` for shock `rebrand`",
+        ),
+        // BadNumber points at the value, not the key.
+        (
+            "scenario a\nshock 2018-01-01 rebrand migration=x",
+            "line 2, col 36: invalid number `x` for field `migration`",
+        ),
+        // UnknownCountry
+        (
+            "scenario a\nshock 2018-01-01 reprisal country=XX pct=1 duration=1",
+            "line 2, col 35: unknown country code `XX`",
+        ),
+        // UnknownClass
+        (
+            "scenario a\nshock 2018-01-01 supply_cut class=huge count=1",
+            "line 2, col 35: unknown size class `huge`",
+        ),
+        // OutOfRange: fraction outside [0, 1].
+        (
+            "scenario a\nshock 2018-01-01 rebrand migration=1.5",
+            "line 2, col 36: field `migration` out of range: must be in [0, 1]",
+        ),
+        // OutOfRange: percentage at or below -100.
+        (
+            "scenario a\nshock 2018-01-01 payment_friction pct=-150 duration=4",
+            "line 2, col 39: field `pct` out of range: must be greater than -100",
+        ),
+        // OutOfRange: zero count.
+        (
+            "scenario a\nshock 2018-01-01 supply_cut class=any count=0",
+            "line 2, col 45: field `count` out of range: must be at least 1",
+        ),
+        // OutOfRange: seizure lag past its own duration.
+        (
+            "scenario a\nshock 2018-01-01 domain_seizure domains=1 pct=-10 recovery=0.5 lag=9 duration=4",
+            "line 2, col 68: field `lag` out of range: must not exceed duration",
+        ),
+        // OutOfRange: non-positive deterrence half-life.
+        (
+            "scenario a\nshock 2018-01-01 deterrence pct=-10 half_life=0",
+            "line 2, col 47: field `half_life` out of range: must be positive",
+        ),
+    ];
+    for (src, expected) in cases {
+        let err = parse_scn(src).expect_err(expected);
+        assert_eq!(&err.to_string(), expected, "for source {src:?}");
+    }
+}

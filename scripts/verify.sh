@@ -156,4 +156,33 @@ cmp out/table1.qbatch.txt out/table1.query.txt || {
 }
 rm -f out/table1.nocache.txt out/table2.nocache.txt
 
+# Tenth pass: the scenario-composition contract (DESIGN.md §5j) at the
+# artifact level. repro_scenarios runs all eight built-in intervention
+# scenarios (scenarios/*.scn) plus the shockless baseline end-to-end —
+# simulate, observe, refit — and writes the cross-scenario comparison
+# artifacts. Those must be byte-identical across thread counts and with
+# the scalar kernel oracles in charge; the scenario_suite golden test
+# pins the same contract in-process, and the scn parser tests pin the
+# DSL round-trip and diagnostics.
+echo "==> scenario goldens (offline, scn parser + suite byte-identity)"
+cargo test -q --offline --test scenario_suite
+cargo test -q --offline -p booters-market --test scn
+echo "==> repro_scenarios artifact diff (threads 1/4 x fast/scalar, offline, scale 0.02)"
+cargo run --release --offline -p booters-core --bin repro_scenarios -- 0.02 >/dev/null
+test -s out/scenarios.txt || { echo "verify: out/scenarios.txt missing or empty" >&2; exit 1; }
+cp out/scenario_summary.csv out/scenario_summary.ref.csv
+cp out/scenario_coefficients.csv out/scenario_coefficients.ref.csv
+for combo in "BOOTERS_THREADS=4" "BOOTERS_SCALAR_KERNELS=1" "BOOTERS_THREADS=4 BOOTERS_SCALAR_KERNELS=1"; do
+    env $combo cargo run --release --offline -p booters-core --bin repro_scenarios -- 0.02 >/dev/null
+    cmp out/scenario_summary.ref.csv out/scenario_summary.csv || {
+        echo "verify: scenario summary differs under $combo" >&2
+        exit 1
+    }
+    cmp out/scenario_coefficients.ref.csv out/scenario_coefficients.csv || {
+        echo "verify: scenario coefficients differ under $combo" >&2
+        exit 1
+    }
+done
+rm -f out/scenario_summary.ref.csv out/scenario_coefficients.ref.csv
+
 echo "==> verify: OK"
